@@ -1,0 +1,20 @@
+"""Shared fixtures for the figure/table benchmarks.
+
+Sweeps are expensive (every kernel × block size is compiled twice and
+simulated twice), so they are computed once per session and shared by the
+figure benchmarks that need them.
+"""
+
+import pytest
+
+from repro.evaluation import figure7, figure8
+
+
+@pytest.fixture(scope="session")
+def fig7_data():
+    return figure7()
+
+
+@pytest.fixture(scope="session")
+def fig8_data():
+    return figure8()

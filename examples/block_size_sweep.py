@@ -1,0 +1,38 @@
+"""Block-size sweep over one benchmark — a miniature Figure 8.
+
+Treats block size as exogenous (as the paper's evaluation does) and asks:
+if a programmer has this kernel at a given block size, what happens when
+CFM is applied?
+
+Run:  python examples/block_size_sweep.py [kernel] [sizes...]
+      python examples/block_size_sweep.py PCM 16 32 64
+"""
+
+import sys
+
+from repro.evaluation import compare, geomean
+from repro.kernels import ALL_BUILDERS
+
+
+def main() -> None:
+    kernel = sys.argv[1] if len(sys.argv) > 1 else "LUD"
+    sizes = [int(s) for s in sys.argv[2:]] or [16, 32, 64, 128]
+    builder = ALL_BUILDERS[kernel]
+
+    print(f"{kernel}: baseline (-O3) vs CFM across block sizes")
+    print(f"{'block':>6s} {'speedup':>8s} {'melds':>6s} "
+          f"{'alu base':>9s} {'alu cfm':>8s} {'lds base':>9s} {'lds cfm':>8s}")
+    speedups = []
+    for size in sizes:
+        result = compare(builder, block_size=size, name=kernel)
+        speedups.append(result.speedup)
+        print(f"{size:>6d} {result.speedup:>7.3f}x {result.melds:>6d} "
+              f"{result.baseline.alu_utilization:>8.1%} "
+              f"{result.melded.alu_utilization:>7.1%} "
+              f"{result.baseline.shared_memory_issues:>9d} "
+              f"{result.melded.shared_memory_issues:>8d}")
+    print(f"\ngeomean speedup: {geomean(speedups):.3f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,16 @@
+"""Reproduction of DARM/CFM: Control-Flow Melding for SIMT Thread
+Divergence Reduction (CGO 2022).
+
+Top-level layout:
+
+* :mod:`repro.ir` — from-scratch SSA IR (the LLVM substitute);
+* :mod:`repro.analysis` — dominators, regions, loops, divergence analysis;
+* :mod:`repro.transforms` — standard passes (SimplifyCFG, DCE, unrolling);
+* :mod:`repro.core` — the paper's contribution: the CFM melding pass;
+* :mod:`repro.simt` — warp-level SIMT simulator with IPDOM reconvergence;
+* :mod:`repro.baselines` — tail merging and branch fusion comparators;
+* :mod:`repro.kernels` — the paper's benchmark kernels in a builder DSL;
+* :mod:`repro.evaluation` — harness regenerating every table and figure.
+"""
+
+__version__ = "1.0.0"

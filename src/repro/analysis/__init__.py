@@ -1,0 +1,33 @@
+"""CFG analyses: dominance, regions, loops, divergence, latency."""
+
+from .cfg import (
+    postorder,
+    reachable_blocks,
+    reachable_from,
+    reverse_postorder,
+    split_edge,
+    verify_preds_consistent,
+)
+from .dominators import (
+    DominatorTree,
+    compute_dominator_tree,
+    compute_postdominator_tree,
+    dominance_frontier,
+    immediate_postdominator,
+    postdominance_frontier,
+)
+from .regions import Region, is_region, region_blocks, smallest_region_containing
+from .loops import Loop, LoopInfo, compute_loop_info
+from .divergence import DivergenceInfo, compute_divergence
+from .latency import DEFAULT_LATENCY_MODEL, LatencyModel
+
+__all__ = [
+    "postorder", "reachable_blocks", "reachable_from", "reverse_postorder",
+    "split_edge", "verify_preds_consistent",
+    "DominatorTree", "compute_dominator_tree", "compute_postdominator_tree",
+    "dominance_frontier", "immediate_postdominator", "postdominance_frontier",
+    "Region", "is_region", "region_blocks", "smallest_region_containing",
+    "Loop", "LoopInfo", "compute_loop_info",
+    "DivergenceInfo", "compute_divergence",
+    "DEFAULT_LATENCY_MODEL", "LatencyModel",
+]

@@ -1,0 +1,173 @@
+"""GPU divergence analysis (data dependence + sync dependence).
+
+Follows the structure of LLVM's divergence analysis that the paper relies
+on (§II-B): a value is *divergent* when threads of a warp may observe
+different values for it.  Divergence seeds are the thread-id intrinsics;
+taint propagates forward through
+
+* **data dependence** — any user of a divergent value is divergent
+  (loads become divergent when their address is divergent), and
+* **sync dependence** — φ nodes at the join points of a divergent branch
+  are divergent even when all incoming values are uniform, because *which*
+  incoming value arrives depends on the thread.
+
+Join points are over-approximated: for a divergent branch in ``B`` with
+successors ``s1, s2``, every multi-predecessor block reachable from both
+successors is treated as a join.  *Temporal* divergence is handled
+separately: when a loop has a divergent exiting branch, threads leave the
+loop at different iterations, so every value defined inside the loop and
+used outside it is divergent — even though it may be uniform across the
+threads still active inside the loop.  This matches the conservative
+built-in LLVM analysis the paper uses (§II-B) rather than Rosemann et
+al.'s precise one.
+
+The analysis result also classifies *branches*: a branch is divergent when
+its condition is (Definition in §II-B); CFM only melds regions rooted at a
+divergent branch.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Set
+
+from repro.ir.block import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    Branch,
+    Call,
+    Instruction,
+    IntrinsicName,
+    Load,
+    Phi,
+    Store,
+)
+from repro.ir.values import Argument, Value
+
+from .cfg import reachable_from
+
+
+class DivergenceInfo:
+    """Result object: query divergence of values and branches."""
+
+    def __init__(self, function: Function, divergent_values: Set[Value],
+                 divergent_blocks: Set[BasicBlock]) -> None:
+        self.function = function
+        self._divergent = divergent_values
+        self._divergent_branch_blocks = divergent_blocks
+
+    def is_divergent(self, value: Value) -> bool:
+        return value in self._divergent
+
+    def is_uniform(self, value: Value) -> bool:
+        return value not in self._divergent
+
+    def has_divergent_branch(self, block: BasicBlock) -> bool:
+        """True if ``block`` terminates in a divergent conditional branch."""
+        return block in self._divergent_branch_blocks
+
+    @property
+    def divergent_branch_blocks(self) -> Set[BasicBlock]:
+        return set(self._divergent_branch_blocks)
+
+    @property
+    def divergent_values(self) -> Set[Value]:
+        return set(self._divergent)
+
+
+def compute_divergence(
+    function: Function,
+    divergent_args: Optional[Iterable[Argument]] = None,
+) -> DivergenceInfo:
+    """Run the fixpoint divergence analysis.
+
+    ``divergent_args`` lets callers mark arguments as divergence sources
+    (kernel arguments are uniform by default, matching GPU semantics).
+    """
+    divergent: Set[Value] = set(divergent_args or [])
+    divergent_branch_blocks: Set[BasicBlock] = set()
+    # Blocks whose join sets were already applied, so the worklist pass
+    # does not recompute reachability every round.
+    processed_branches: Set[BasicBlock] = set()
+
+    # Seed: thread-id intrinsics.
+    for instr in function.instructions():
+        if isinstance(instr, Call) and instr.callee in IntrinsicName.THREAD_ID_SOURCES:
+            divergent.add(instr)
+
+    changed = True
+    while changed:
+        changed = False
+        # Data-dependence propagation.
+        for instr in function.instructions():
+            if instr in divergent:
+                continue
+            if instr.type.is_void:
+                continue
+            if _has_divergent_operand(instr, divergent):
+                divergent.add(instr)
+                changed = True
+        # Branch classification + sync dependence.
+        for block in function.blocks:
+            term = block.terminator
+            if not isinstance(term, Branch) or not term.is_conditional:
+                continue
+            if term.condition not in divergent:
+                continue
+            if block not in divergent_branch_blocks:
+                divergent_branch_blocks.add(block)
+                changed = True
+            if block in processed_branches:
+                continue
+            processed_branches.add(block)
+            for join in _join_blocks(block):
+                for phi in join.phis:
+                    if phi not in divergent:
+                        divergent.add(phi)
+                        changed = True
+        # Temporal divergence: loop live-outs of divergently-exiting loops.
+        if _mark_temporal_divergence(function, divergent, divergent_branch_blocks):
+            changed = True
+
+    return DivergenceInfo(function, divergent, divergent_branch_blocks)
+
+
+def _mark_temporal_divergence(function: Function, divergent: Set[Value],
+                              divergent_branch_blocks: Set[BasicBlock]) -> bool:
+    from .loops import compute_loop_info  # local import: loops -> dominators
+
+    changed = False
+    loop_info = compute_loop_info(function)
+    for loop in loop_info:
+        if not any(b in divergent_branch_blocks for b in loop.exiting_blocks):
+            continue
+        for block in loop.blocks:
+            for instr in block:
+                if instr in divergent or instr.type.is_void:
+                    continue
+                for user in instr.users:
+                    if isinstance(user, Instruction) and user.parent not in loop.blocks:
+                        divergent.add(instr)
+                        changed = True
+                        break
+    return changed
+
+
+def _has_divergent_operand(instr: Instruction, divergent: Set[Value]) -> bool:
+    if isinstance(instr, Load):
+        return instr.pointer in divergent
+    return any(op in divergent for op in instr.operands)
+
+
+def _join_blocks(branch_block: BasicBlock) -> Set[BasicBlock]:
+    """Over-approximated join points of the branch in ``branch_block``."""
+    succs = branch_block.succs
+    if len(succs) < 2:
+        return set()
+    reach = [reachable_from(s) | {s} for s in succs]
+    joined: Set[BasicBlock] = set()
+    for i in range(len(reach)):
+        for j in range(i + 1, len(reach)):
+            for block in reach[i] & reach[j]:
+                if len(block.preds) >= 2:
+                    joined.add(block)
+    return joined

@@ -1,0 +1,273 @@
+"""Dominator and post-dominator trees (Cooper–Harvey–Kennedy).
+
+CFM leans on dominance everywhere: meldable-region detection needs the
+immediate post-dominator (Definition 5), SESE subgraph ordering uses the
+post-dominance relation (§IV-C), and the verifier checks that definitions
+dominate uses.
+
+Post-dominance is computed on the reversed CFG.  Functions whose exit is
+not unique get a *virtual exit* that post-dominates every ``ret`` block
+(and every infinite loop's blocks are simply absent from the postdom tree,
+which the callers treat as "not post-dominated by anything").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.ir.block import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import Instruction, Phi, Ret
+from .cfg import reverse_postorder
+
+
+class DominatorTree:
+    """Dominator (or post-dominator) tree over a function's CFG.
+
+    ``idom`` maps each block to its immediate dominator; the root maps to
+    itself.  ``None``-rooted queries on unreachable blocks raise ``KeyError``.
+    """
+
+    def __init__(self, idom: Dict[BasicBlock, BasicBlock], root: BasicBlock,
+                 is_post: bool = False) -> None:
+        self._idom = idom
+        self.root = root
+        self.is_post = is_post
+        self._children: Dict[BasicBlock, List[BasicBlock]] = {b: [] for b in idom}
+        for block, parent in idom.items():
+            if block is not parent:
+                self._children[parent].append(block)
+        self._depth: Dict[BasicBlock, int] = {}
+        self._compute_depths()
+
+    def _compute_depths(self) -> None:
+        self._depth[self.root] = 0
+        work = [self.root]
+        while work:
+            node = work.pop()
+            for child in self._children[node]:
+                self._depth[child] = self._depth[node] + 1
+                work.append(child)
+
+    # ---- queries ---------------------------------------------------------
+
+    def idom(self, block: BasicBlock) -> Optional[BasicBlock]:
+        """Immediate dominator, or ``None`` for the root."""
+        parent = self._idom[block]
+        return None if parent is block else parent
+
+    def contains(self, block: BasicBlock) -> bool:
+        return block in self._idom
+
+    def dominates(self, a: BasicBlock, b: BasicBlock) -> bool:
+        """True if ``a`` dominates ``b`` (reflexively)."""
+        if a not in self._idom or b not in self._idom:
+            return False
+        while self._depth[b] > self._depth[a]:
+            b = self._idom[b]
+        return a is b
+
+    def strictly_dominates(self, a: BasicBlock, b: BasicBlock) -> bool:
+        return a is not b and self.dominates(a, b)
+
+    def children(self, block: BasicBlock) -> List[BasicBlock]:
+        return list(self._children.get(block, []))
+
+    def depth(self, block: BasicBlock) -> int:
+        return self._depth[block]
+
+    def blocks(self) -> Iterable[BasicBlock]:
+        return self._idom.keys()
+
+    def nearest_common_dominator(self, a: BasicBlock, b: BasicBlock) -> BasicBlock:
+        while self._depth[a] > self._depth[b]:
+            a = self._idom[a]
+        while self._depth[b] > self._depth[a]:
+            b = self._idom[b]
+        while a is not b:
+            a = self._idom[a]
+            b = self._idom[b]
+        return a
+
+    def preorder(self) -> List[BasicBlock]:
+        """Tree pre-order; dominators appear before dominated blocks."""
+        order: List[BasicBlock] = []
+        work = [self.root]
+        while work:
+            node = work.pop()
+            order.append(node)
+            work.extend(reversed(self._children[node]))
+        return order
+
+    # ---- instruction-level dominance ------------------------------------
+
+    def instruction_dominates(self, def_instr: Instruction, use_instr: Instruction,
+                              use_index: Optional[int] = None) -> bool:
+        """True if ``def_instr`` dominates the *use site* in ``use_instr``.
+
+        For φ users the use site is the end of the corresponding incoming
+        block (``use_index`` selects which incoming slot).
+        """
+        def_block = def_instr.parent
+        use_block = use_instr.parent
+        if isinstance(use_instr, Phi) and use_index is not None:
+            incoming_block = use_instr.incoming_blocks[use_index]
+            return self.dominates(def_block, incoming_block)
+        if def_block is use_block:
+            instrs = def_block.instructions
+            return instrs.index(def_instr) < instrs.index(use_instr)
+        return self.strictly_dominates(def_block, use_block)
+
+
+def _compute_idoms(
+    nodes: List[BasicBlock],
+    preds_of,
+    root: BasicBlock,
+) -> Dict[BasicBlock, BasicBlock]:
+    """Cooper–Harvey–Kennedy 'engineered' dominance algorithm."""
+    index = {b: i for i, b in enumerate(nodes)}  # reverse-postorder numbers
+    idom: Dict[BasicBlock, Optional[BasicBlock]] = {b: None for b in nodes}
+    idom[root] = root
+
+    def intersect(a: BasicBlock, b: BasicBlock) -> BasicBlock:
+        while a is not b:
+            while index[a] > index[b]:
+                a = idom[a]
+            while index[b] > index[a]:
+                b = idom[b]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for block in nodes:
+            if block is root:
+                continue
+            new_idom: Optional[BasicBlock] = None
+            for pred in preds_of(block):
+                if pred not in index or idom[pred] is None:
+                    continue
+                new_idom = pred if new_idom is None else intersect(pred, new_idom)
+            if new_idom is not None and idom[block] is not new_idom:
+                idom[block] = new_idom
+                changed = True
+    return {b: d for b, d in idom.items() if d is not None}
+
+
+def compute_dominator_tree(function: Function) -> DominatorTree:
+    nodes = reverse_postorder(function)
+    idom = _compute_idoms(nodes, lambda b: b.preds, function.entry)
+    return DominatorTree(idom, function.entry, is_post=False)
+
+
+class _VirtualExit:
+    """Sentinel root for the post-dominator tree when the CFG has several
+    (or zero) exit blocks."""
+
+    name = "<virtual-exit>"
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<virtual exit>"
+
+
+def compute_postdominator_tree(function: Function) -> DominatorTree:
+    """Post-dominator tree.  If the function has a single ``ret`` block the
+    tree is rooted there; otherwise a virtual exit is used and remains the
+    root (callers see ``idom(block) is None`` only at the root)."""
+    reachable = reverse_postorder(function)
+    exits = [b for b in reachable if isinstance(b.terminator, Ret)]
+
+    if len(exits) == 1:
+        root = exits[0]
+        virtual = None
+    else:
+        root = _VirtualExit()
+        virtual = root
+
+    # Restrict to the reachable subgraph: an exit block may have
+    # predecessors that are unreachable from the entry, and the reverse
+    # DFS below must not wander into them.
+    reachable_set = set(reachable)
+    succs_of = {}
+    preds_of = {}
+    for block in reachable:
+        succs_of[block] = [s for s in block.succs if s in reachable_set]
+        preds_of[block] = [p for p in block.preds if p in reachable_set]
+    if virtual is not None:
+        succs_of[virtual] = []
+        preds_of[virtual] = list(exits)
+        for block in exits:
+            succs_of[block] = succs_of[block] + [virtual]
+
+    # Reverse-CFG reverse postorder, starting from the exit root.
+    order: List[BasicBlock] = []
+    visited: Set = {root}
+    stack = [(root, iter(preds_of.get(root, [])))]
+    while stack:
+        node, preds = stack[-1]
+        advanced = False
+        for pred in preds:
+            if pred not in visited:
+                visited.add(pred)
+                stack.append((pred, iter(preds_of[pred])))
+                advanced = True
+                break
+        if not advanced:
+            order.append(node)
+            stack.pop()
+    order.reverse()
+
+    idom = _compute_idoms(order, lambda b: succs_of.get(b, []), root)
+    return DominatorTree(idom, root, is_post=True)
+
+
+def immediate_postdominator(pdt: DominatorTree, block: BasicBlock) -> Optional[BasicBlock]:
+    """The IPDOM of ``block`` as a real basic block, or ``None`` when the
+    immediate post-dominator is the virtual exit."""
+    if not pdt.contains(block):
+        return None
+    parent = pdt.idom(block)
+    if parent is None or isinstance(parent, _VirtualExit):
+        return None
+    return parent
+
+
+def dominance_frontier(function: Function, dt: DominatorTree) -> Dict[BasicBlock, Set[BasicBlock]]:
+    """Classic dominance frontier (used by SSA repair and divergence
+    analysis' sync-dependence computation, via the *post*-dominance
+    frontier on the reversed CFG)."""
+    frontier: Dict[BasicBlock, Set[BasicBlock]] = {b: set() for b in function.blocks}
+    for block in function.blocks:
+        if not dt.contains(block):
+            continue
+        preds = [p for p in block.preds if dt.contains(p)]
+        if len(preds) < 2:
+            continue
+        for pred in preds:
+            runner = pred
+            while runner is not dt.idom(block) and runner is not None:
+                frontier[runner].add(block)
+                runner = dt.idom(runner)
+    return frontier
+
+
+def postdominance_frontier(function: Function, pdt: DominatorTree) -> Dict[BasicBlock, Set[BasicBlock]]:
+    """Post-dominance frontier: ``b in PDF(a)`` means ``a``'s execution is
+    control-dependent on the branch in ``b``."""
+    frontier: Dict[BasicBlock, Set[BasicBlock]] = {b: set() for b in function.blocks}
+    for block in function.blocks:
+        if not pdt.contains(block):
+            continue
+        succs = [s for s in block.succs if pdt.contains(s)]
+        if len(succs) < 2:
+            continue
+        for succ in succs:
+            runner = succ
+            while runner is not pdt.idom(block) and runner is not None \
+                    and not isinstance(runner, _VirtualExit):
+                frontier[runner].add(block)
+                parent = pdt.idom(runner)
+                if parent is None:
+                    break
+                runner = parent
+    return frontier

@@ -1,0 +1,7 @@
+"""Prior divergence-reduction techniques CFM is compared against
+(Table I): tail merging and branch fusion."""
+
+from .tail_merging import merge_tails
+from .branch_fusion import fuse_branches
+
+__all__ = ["merge_tails", "fuse_branches"]

@@ -1,0 +1,182 @@
+"""Generic sequence alignment: Needleman–Wunsch and Smith–Waterman.
+
+CFM uses hierarchical sequence alignment twice (§IV-C): once over the
+SESE subgraph sequences of a divergent region's true/false paths, and
+once over the instruction lists of corresponding basic blocks.  Both
+callers share the implementations here.
+
+Gap costs are affine (Gotoh's algorithm): the paper observes that a gap
+of unaligned instructions costs two branches *regardless of its length*,
+which is exactly ``gap_open > 0, gap_extend = 0``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Generic, List, Optional, Sequence, Tuple, TypeVar
+
+A = TypeVar("A")
+B = TypeVar("B")
+
+#: score function: similarity of two elements (higher = more alignable)
+ScoreFn = Callable[[A, B], float]
+
+NEG_INF = float("-inf")
+
+
+@dataclass
+class AlignedPair(Generic[A, B]):
+    """One alignment column: ``(a, b)``, ``(a, None)`` or ``(None, b)``."""
+
+    left: Optional[A]
+    right: Optional[B]
+
+    @property
+    def is_match(self) -> bool:
+        return self.left is not None and self.right is not None
+
+    @property
+    def is_gap(self) -> bool:
+        return not self.is_match
+
+
+@dataclass
+class AlignmentResult(Generic[A, B]):
+    pairs: List[AlignedPair]
+    score: float
+
+    @property
+    def matches(self) -> List[Tuple[A, B]]:
+        return [(p.left, p.right) for p in self.pairs if p.is_match]
+
+    @property
+    def num_matches(self) -> int:
+        return sum(1 for p in self.pairs if p.is_match)
+
+    @property
+    def num_gaps(self) -> int:
+        return sum(1 for p in self.pairs if p.is_gap)
+
+
+def needleman_wunsch(
+    seq_a: Sequence[A],
+    seq_b: Sequence[B],
+    score: ScoreFn,
+    gap_open: float = 0.0,
+    gap_extend: float = 0.0,
+    min_match_score: float = 0.0,
+) -> AlignmentResult:
+    """Global alignment with affine gap penalties (Gotoh).
+
+    ``score(a, b)`` below ``min_match_score`` forbids the match outright
+    (used to encode CFM's ``match()`` predicate: unmeldable instructions
+    must never be aligned, however convenient).  Gap penalties are passed
+    as positive costs.
+    """
+    n, m = len(seq_a), len(seq_b)
+    # M[i][j]: best score ending in a match at (i, j).
+    # X[i][j]: best score with seq_a[i-1] aligned to a gap (gap in b).
+    # Y[i][j]: best score with seq_b[j-1] aligned to a gap (gap in a).
+    M = [[NEG_INF] * (m + 1) for _ in range(n + 1)]
+    X = [[NEG_INF] * (m + 1) for _ in range(n + 1)]
+    Y = [[NEG_INF] * (m + 1) for _ in range(n + 1)]
+    M[0][0] = 0.0
+
+    for i in range(n + 1):
+        for j in range(m + 1):
+            if i == 0 and j == 0:
+                continue
+            if i > 0 and j > 0:
+                pair_score = score(seq_a[i - 1], seq_b[j - 1])
+                if pair_score >= min_match_score:
+                    best_prev = max(M[i - 1][j - 1], X[i - 1][j - 1], Y[i - 1][j - 1])
+                    M[i][j] = (best_prev + pair_score) if best_prev > NEG_INF else NEG_INF
+                else:
+                    M[i][j] = NEG_INF
+            else:
+                M[i][j] = NEG_INF
+            if i > 0:
+                X[i][j] = max(M[i - 1][j] - gap_open,
+                              X[i - 1][j] - gap_extend,
+                              Y[i - 1][j] - gap_open)
+            else:
+                X[i][j] = NEG_INF
+            if j > 0:
+                Y[i][j] = max(M[i][j - 1] - gap_open,
+                              X[i][j - 1] - gap_open,
+                              Y[i][j - 1] - gap_extend)
+            else:
+                Y[i][j] = NEG_INF
+
+    # Traceback.
+    pairs: List[AlignedPair] = []
+    i, j = n, m
+    state = max(("M", "X", "Y"), key=lambda s: {"M": M, "X": X, "Y": Y}[s][i][j])
+    final = {"M": M, "X": X, "Y": Y}[state][n][m]
+    while i > 0 or j > 0:
+        if state == "M":
+            pairs.append(AlignedPair(seq_a[i - 1], seq_b[j - 1]))
+            prev = max(("M", "X", "Y"),
+                       key=lambda s: {"M": M, "X": X, "Y": Y}[s][i - 1][j - 1])
+            i, j = i - 1, j - 1
+            state = prev
+        elif state == "X":
+            pairs.append(AlignedPair(seq_a[i - 1], None))
+            candidates = [
+                ("M", M[i - 1][j] - gap_open),
+                ("X", X[i - 1][j] - gap_extend),
+                ("Y", Y[i - 1][j] - gap_open),
+            ]
+            state = max(candidates, key=lambda c: c[1])[0]
+            i -= 1
+        else:
+            pairs.append(AlignedPair(None, seq_b[j - 1]))
+            candidates = [
+                ("M", M[i][j - 1] - gap_open),
+                ("X", X[i][j - 1] - gap_open),
+                ("Y", Y[i][j - 1] - gap_extend),
+            ]
+            state = max(candidates, key=lambda c: c[1])[0]
+            j -= 1
+    pairs.reverse()
+    return AlignmentResult(pairs, final)
+
+
+def smith_waterman(
+    seq_a: Sequence[A],
+    seq_b: Sequence[B],
+    score: ScoreFn,
+    gap_penalty: float = 1.0,
+) -> AlignmentResult:
+    """Local alignment (linear gaps).  The paper lists Smith–Waterman as
+    an alternative to NW for the subgraph alignment; provided for
+    completeness and ablations."""
+    n, m = len(seq_a), len(seq_b)
+    H = [[0.0] * (m + 1) for _ in range(n + 1)]
+    best, best_pos = 0.0, (0, 0)
+    for i in range(1, n + 1):
+        for j in range(1, m + 1):
+            H[i][j] = max(
+                0.0,
+                H[i - 1][j - 1] + score(seq_a[i - 1], seq_b[j - 1]),
+                H[i - 1][j] - gap_penalty,
+                H[i][j - 1] - gap_penalty,
+            )
+            if H[i][j] > best:
+                best, best_pos = H[i][j], (i, j)
+
+    pairs: List[AlignedPair] = []
+    i, j = best_pos
+    while i > 0 and j > 0 and H[i][j] > 0:
+        here = H[i][j]
+        if here == H[i - 1][j - 1] + score(seq_a[i - 1], seq_b[j - 1]):
+            pairs.append(AlignedPair(seq_a[i - 1], seq_b[j - 1]))
+            i, j = i - 1, j - 1
+        elif here == H[i - 1][j] - gap_penalty:
+            pairs.append(AlignedPair(seq_a[i - 1], None))
+            i -= 1
+        else:
+            pairs.append(AlignedPair(None, seq_b[j - 1]))
+            j -= 1
+    pairs.reverse()
+    return AlignmentResult(pairs, best)

@@ -1,0 +1,81 @@
+"""Instruction alignment for corresponding basic blocks (§IV-C).
+
+Needleman–Wunsch over the two blocks' meldable instruction lists (φs and
+terminators are handled structurally by the melder), scored by ``FP_I``
+and with the paper's affine gap cost: two branch latencies per gap run,
+independent of the run's length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.analysis.latency import DEFAULT_LATENCY_MODEL, LatencyModel
+from repro.ir.block import BasicBlock
+from repro.ir.instructions import Instruction
+
+from .alignment import needleman_wunsch
+from .profitability import (
+    instruction_profitability,
+    instructions_match,
+    meldable_instructions,
+)
+
+#: score below which a pair is treated as forbidden rather than merely bad
+_FORBIDDEN = float("-inf")
+
+
+@dataclass
+class InstructionPair:
+    """I-I (both set) or I-G (one side None) alignment entry."""
+
+    true_instr: Optional[Instruction]
+    false_instr: Optional[Instruction]
+
+    @property
+    def is_match(self) -> bool:
+        return self.true_instr is not None and self.false_instr is not None
+
+    @property
+    def lone(self) -> Instruction:
+        """The instruction of an I-G pair."""
+        instr = self.true_instr if self.true_instr is not None else self.false_instr
+        assert instr is not None
+        return instr
+
+    @property
+    def from_true_path(self) -> bool:
+        return self.true_instr is not None
+
+
+def align_instructions(
+    true_block: BasicBlock,
+    false_block: BasicBlock,
+    latency: LatencyModel = DEFAULT_LATENCY_MODEL,
+) -> List[InstructionPair]:
+    """Optimal I-I / I-G alignment of two corresponding blocks."""
+    true_instrs = meldable_instructions(true_block)
+    false_instrs = meldable_instructions(false_block)
+
+    def score(a: Instruction, b: Instruction) -> float:
+        if not instructions_match(a, b):
+            return _FORBIDDEN
+        return instruction_profitability(a, b, latency)
+
+    gap = 2.0 * latency.branch_latency
+    result = needleman_wunsch(true_instrs, false_instrs, score,
+                              gap_open=gap, gap_extend=0.0,
+                              min_match_score=-1e17)
+    return [InstructionPair(p.left, p.right) for p in result.pairs]
+
+
+def alignment_saved_cycles(pairs: List[InstructionPair],
+                           latency: LatencyModel = DEFAULT_LATENCY_MODEL) -> float:
+    """Estimated cycles saved by this alignment (diagnostics/benchmarks)."""
+    saved = 0.0
+    for pair in pairs:
+        if pair.is_match:
+            saved += instruction_profitability(pair.true_instr, pair.false_instr,
+                                               latency)
+    return saved

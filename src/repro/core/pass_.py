@@ -1,0 +1,190 @@
+"""The CFM function pass: Algorithm 1 of the paper.
+
+Per iteration: walk the blocks of the kernel; for the first block that
+roots a meldable divergent region, simplify its path subgraphs, pick the
+most profitable meldable subgraph pair, and meld it if the profitability
+clears the threshold.  Melding invalidates every control-flow analysis,
+so the pass recomputes them and repeats until no profitable meld remains.
+
+Each meld is followed by SSA repair (``PreProcess``/Figure 4),
+unpredication (§IV-E) and the post-optimizations of §IV-F (redundant
+branch folding, trivial-φ removal, unreachable-block cleanup, DCE).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.analysis.divergence import compute_divergence
+from repro.analysis.dominators import compute_postdominator_tree
+from repro.analysis.latency import DEFAULT_LATENCY_MODEL, LatencyModel
+from repro.ir.function import Function
+from repro.transforms.dce import eliminate_dead_code
+from repro.transforms.simplifycfg import (
+    fold_redundant_branches,
+    remove_forwarding_blocks,
+    remove_trivial_phis,
+    remove_unreachable_blocks,
+)
+from repro.transforms.ssa_repair import repair_ssa
+
+from .meldable import MeldableRegion, find_meldable_region
+from .melder import Melder, MeldResult
+from .sese import path_subgraphs, simplify_path_subgraphs
+from .subgraph_align import (
+    SubgraphPair,
+    align_subgraphs,
+    most_profitable_pair,
+)
+from .unpredication import unpredicate
+
+
+@dataclass
+class CFMConfig:
+    """Tunables of the melding pass."""
+
+    #: minimum ``FP_S`` for a pair to be melded (Algorithm 1's threshold)
+    profitability_threshold: float = 0.1
+    #: upper bound on Algorithm-1 iterations (one meld each)
+    max_iterations: int = 64
+    #: run §IV-E unpredication after each meld
+    unpredication: bool = True
+    #: also unpredicate side-effect-free runs (the paper does; ablation knob)
+    split_pure_runs: bool = True
+    #: use optimal NW subgraph alignment instead of the paper's greedy scan
+    optimal_subgraph_alignment: bool = False
+    #: allow case-② melds (simple region with single basic block, Def. 6)
+    allow_partial_melds: bool = True
+    latency: LatencyModel = field(default_factory=lambda: DEFAULT_LATENCY_MODEL)
+
+
+@dataclass
+class MeldRecord:
+    """One successful meld, for diagnostics and the compile-time study."""
+
+    region_entry: str
+    true_entry: str
+    false_entry: str
+    blocks_melded: int
+    profitability: float
+    partial: bool
+    selects_inserted: int
+    instructions_melded: int
+    instructions_unaligned: int
+
+
+@dataclass
+class CFMStats:
+    """Aggregate outcome of the pass."""
+
+    melds: List[MeldRecord] = field(default_factory=list)
+    iterations: int = 0
+    regions_considered: int = 0
+    pairs_rejected_unprofitable: int = 0
+    seconds: float = 0.0
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.melds)
+
+    @property
+    def total_selects(self) -> int:
+        return sum(m.selects_inserted for m in self.melds)
+
+    @property
+    def total_melded_instructions(self) -> int:
+        return sum(m.instructions_melded for m in self.melds)
+
+
+def run_cfm(function: Function, config: Optional[CFMConfig] = None) -> CFMStats:
+    """Apply control-flow melding to ``function`` until fixpoint."""
+    config = config or CFMConfig()
+    stats = CFMStats()
+    start = time.perf_counter()
+
+    for _ in range(config.max_iterations):
+        stats.iterations += 1
+        if not _meld_one(function, config, stats):
+            break
+
+    stats.seconds = time.perf_counter() - start
+    return stats
+
+
+def _meld_one(function: Function, config: CFMConfig, stats: CFMStats) -> bool:
+    """One Algorithm-1 iteration: meld at most one subgraph pair."""
+    divergence = compute_divergence(function)
+    pdt = compute_postdominator_tree(function)
+
+    for block in function.blocks:
+        region = find_meldable_region(block, divergence, pdt)
+        if region is None:
+            continue
+        stats.regions_considered += 1
+
+        true_subs = path_subgraphs(region.true_first, region.exit, pdt)
+        false_subs = path_subgraphs(region.false_first, region.exit, pdt)
+        if not true_subs or not false_subs:
+            continue
+        changed_t = simplify_path_subgraphs(function, true_subs)
+        changed_f = simplify_path_subgraphs(function, false_subs)
+        if changed_t or changed_f:
+            # Region simplification only inserts forwarding exit blocks;
+            # the subgraph descriptors were updated in place and the
+            # melder does not consult the stale post-dominator tree.
+            pdt = compute_postdominator_tree(function)
+
+        pair = _choose_pair(true_subs, false_subs, config)
+        if pair is None:
+            continue
+        if pair.profitability <= config.profitability_threshold:
+            stats.pairs_rejected_unprofitable += 1
+            continue
+
+        result = Melder(function, region, pair, config.latency).meld()
+        remove_unreachable_blocks(function)
+        repair_ssa(function)
+        if config.unpredication:
+            unpredicate(function, result, config.split_pure_runs)
+        _post_optimize(function)
+
+        stats.melds.append(MeldRecord(
+            region_entry=region.entry.name,
+            true_entry=pair.true_subgraph.entry.name,
+            false_entry=pair.false_subgraph.entry.name,
+            blocks_melded=len(pair.mapping),
+            profitability=pair.profitability,
+            partial=pair.is_partial,
+            selects_inserted=result.selects_inserted,
+            instructions_melded=result.instructions_melded,
+            instructions_unaligned=result.instructions_unaligned,
+        ))
+        return True
+    return False
+
+
+def _choose_pair(true_subs, false_subs, config: CFMConfig) -> Optional[SubgraphPair]:
+    if config.optimal_subgraph_alignment:
+        pairs = align_subgraphs(true_subs, false_subs, config.latency)
+        profitable = [p for p in pairs
+                      if p.profitability > config.profitability_threshold]
+        if not profitable:
+            return None
+        return max(profitable, key=lambda p: p.profitability)
+    return most_profitable_pair(true_subs, false_subs, config.latency,
+                                allow_partial=config.allow_partial_melds)
+
+
+def _post_optimize(function: Function) -> None:
+    """§IV-F post-optimizations (kept local: full SimplifyCFG runs later
+    in the driver pipeline)."""
+    changed = True
+    while changed:
+        changed = False
+        changed |= fold_redundant_branches(function)
+        changed |= remove_trivial_phis(function)
+        changed |= remove_forwarding_blocks(function)
+        changed |= remove_unreachable_blocks(function)
+    eliminate_dead_code(function)

@@ -1,0 +1,149 @@
+"""Melding profitability metrics ``FP_B``, ``FP_S``, ``FP_I`` (§IV-C).
+
+All three approximate the fraction (or number) of thread cycles melding
+saves, using the shared static latency model:
+
+* ``FP_B(b1, b2)`` — block-level: best-case overlap of the two blocks'
+  opcode-frequency profiles, weighted by latency and normalized by the
+  combined block latency.  Two blocks with identical profiles score 0.5.
+* ``FP_S(S1, S2)`` — subgraph-level: latency-weighted average of
+  ``FP_B`` over the isomorphism's block mapping ``O``.
+* ``FP_I(I1, I2)`` — instruction-level (drives the Needleman–Wunsch
+  instruction alignment): ``lat(I1) - N_s * l_sel`` when the pair is
+  meldable, else 0.
+
+φ nodes and terminators are excluded from the frequency profiles:
+they are melded structurally, not via alignment, and counting branches
+would make empty forwarding-block pairs look profitable (a fixpoint
+hazard for Algorithm 1).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.analysis.latency import DEFAULT_LATENCY_MODEL, LatencyModel
+from repro.ir.block import BasicBlock
+from repro.ir.instructions import Call, Instruction, Phi
+from repro.ir.values import Constant, Value
+
+
+def meldable_instructions(block: BasicBlock) -> List[Instruction]:
+    """The instructions that participate in alignment/profitability:
+    everything except φs and the terminator."""
+    return [i for i in block.instructions
+            if not isinstance(i, Phi) and not i.is_terminator]
+
+
+def instructions_match(a: Instruction, b: Instruction) -> bool:
+    """The ``match`` predicate (Rocha et al.): same opcode shape, same
+    type, same operand count, compatible attributes.  Implemented via
+    :meth:`~repro.ir.instructions.Instruction.operand_signature`, which
+    encodes predicates for compares, address spaces for memory ops and
+    callees for calls; barriers never match (melding a barrier would
+    change synchronization)."""
+    if a is b:
+        return False
+    if isinstance(a, Call) and a.is_barrier:
+        return False
+    if isinstance(b, Call) and b.is_barrier:
+        return False
+    return a.operand_signature() == b.operand_signature()
+
+
+def estimated_selects(a: Instruction, b: Instruction) -> int:
+    """``N_s``: operands that would need a ``select`` if melded — the
+    pre-melding approximation (operand identity before remapping)."""
+    count = 0
+    for op_a, op_b in zip(a.operands, b.operands):
+        if op_a is op_b:
+            continue
+        if isinstance(op_a, Constant) and isinstance(op_b, Constant) and op_a == op_b:
+            continue
+        count += 1
+    return count
+
+
+def block_profitability(
+    b1: BasicBlock,
+    b2: BasicBlock,
+    latency: LatencyModel = DEFAULT_LATENCY_MODEL,
+) -> float:
+    """``FP_B``: best-case saved-cycle fraction for melding two blocks."""
+    instrs1 = meldable_instructions(b1)
+    instrs2 = meldable_instructions(b2)
+    lat1 = sum(latency.latency(i) for i in instrs1)
+    lat2 = sum(latency.latency(i) for i in instrs2)
+    total = lat1 + lat2
+    if total == 0:
+        return 0.0
+
+    profile1 = _signature_profile(instrs1, latency)
+    profile2 = _signature_profile(instrs2, latency)
+    saved = 0.0
+    for signature, (count1, weight) in profile1.items():
+        if signature in profile2:
+            count2, _ = profile2[signature]
+            saved += min(count1, count2) * weight
+    return saved / total
+
+
+def _signature_profile(instrs: Iterable[Instruction],
+                       latency: LatencyModel) -> Dict[Tuple, Tuple[int, int]]:
+    """opcode-signature → (frequency, per-instruction latency weight)."""
+    profile: Dict[Tuple, Tuple[int, int]] = {}
+    for instr in instrs:
+        signature = instr.operand_signature()
+        count, _ = profile.get(signature, (0, 0))
+        profile[signature] = (count + 1, latency.latency(instr))
+    return profile
+
+
+def subgraph_profitability(
+    mapping: List[Tuple[BasicBlock, BasicBlock]],
+    latency: LatencyModel = DEFAULT_LATENCY_MODEL,
+) -> float:
+    """``FP_S``: latency-weighted mean of ``FP_B`` over the block mapping
+    ``O`` of two isomorphic subgraphs."""
+    numerator = 0.0
+    denominator = 0.0
+    for b1, b2 in mapping:
+        pair_latency = (sum(latency.latency(i) for i in meldable_instructions(b1))
+                        + sum(latency.latency(i) for i in meldable_instructions(b2)))
+        numerator += block_profitability(b1, b2, latency) * pair_latency
+        denominator += pair_latency
+    if denominator == 0:
+        return 0.0
+    return numerator / denominator
+
+
+def partial_subgraph_profitability(
+    region_blocks: Iterable[BasicBlock],
+    chosen: BasicBlock,
+    single: BasicBlock,
+    latency: LatencyModel = DEFAULT_LATENCY_MODEL,
+) -> float:
+    """``FP_S`` for a case-② pairing: only the chosen block overlaps the
+    single block; every other region block contributes latency to the
+    denominator but saves nothing, so partial melds are naturally
+    dominated by any available full isomorphism."""
+    def block_latency(block: BasicBlock) -> int:
+        return sum(latency.latency(i) for i in meldable_instructions(block))
+
+    pair_latency = block_latency(chosen) + block_latency(single)
+    total = sum(block_latency(b) for b in region_blocks) + block_latency(single)
+    if total == 0:
+        return 0.0
+    return block_profitability(chosen, single, latency) * pair_latency / total
+
+
+def instruction_profitability(
+    a: Instruction,
+    b: Instruction,
+    latency: LatencyModel = DEFAULT_LATENCY_MODEL,
+) -> float:
+    """``FP_I``: cycles saved by melding ``a`` with ``b`` (0 if unmeldable)."""
+    if not instructions_match(a, b):
+        return 0.0
+    return latency.latency(a) - estimated_selects(a, b) * latency.select_latency

@@ -1,0 +1,50 @@
+"""Evaluation harness regenerating every table and figure of the paper."""
+
+from .runner import (
+    Comparison,
+    CompileResult,
+    RunResult,
+    compare,
+    compile_baseline,
+    compile_cfm,
+    execute,
+    geomean,
+)
+from .experiments import (
+    CapabilityRow,
+    CompileTimeRow,
+    CounterRow,
+    DEFAULT_GRID_DIM,
+    DEFAULT_SEED,
+    Figure8Result,
+    REAL_BLOCK_SIZES,
+    SYNTHETIC_BLOCK_SIZES,
+    SpeedupRow,
+    best_improvement_rows,
+    counters,
+    figure7,
+    figure8,
+    figures9_and_10,
+    run_sweep,
+    table1,
+    table2,
+)
+from .reporting import (
+    format_counters,
+    format_figure8,
+    format_speedups,
+    format_table1,
+    format_table2,
+)
+
+__all__ = [
+    "Comparison", "CompileResult", "RunResult", "compare",
+    "compile_baseline", "compile_cfm", "execute", "geomean",
+    "CapabilityRow", "CompileTimeRow", "CounterRow",
+    "DEFAULT_GRID_DIM", "DEFAULT_SEED", "Figure8Result",
+    "REAL_BLOCK_SIZES", "SYNTHETIC_BLOCK_SIZES", "SpeedupRow",
+    "best_improvement_rows", "counters", "figure7", "figure8",
+    "figures9_and_10", "run_sweep", "table1", "table2",
+    "format_counters", "format_figure8", "format_speedups",
+    "format_table1", "format_table2",
+]

@@ -1,0 +1,114 @@
+"""Regenerate the paper's full evaluation from the command line:
+
+    python -m repro.evaluation [--out report.txt] [--quick]
+
+Runs Table I, Figures 7–10 and Table II and prints (or writes) the
+formatted report.  ``--quick`` shrinks the sweeps for a fast smoke run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .experiments import (
+    REAL_BLOCK_SIZES,
+    best_improvement_rows,
+    counters,
+    figure7,
+    figure8,
+    table1,
+    table2,
+)
+from .reporting import (
+    format_counters,
+    format_figure8,
+    format_speedups,
+    format_table1,
+    format_table2,
+)
+
+
+def build_report(quick: bool = False) -> str:
+    sections = []
+    start = time.perf_counter()
+
+    sections.append(format_table1(table1()))
+
+    synthetic_sizes = [16, 32] if quick else None
+    rows7, _ = figure7(block_sizes=synthetic_sizes)
+    sections.append(format_speedups(rows7, "Figure 7: synthetic benchmark speedups"))
+
+    real_sizes = ({k: v[:2] for k, v in REAL_BLOCK_SIZES.items()}
+                  if quick else None)
+    fig8 = figure8(block_sizes=real_sizes)
+    sections.append(format_figure8(fig8))
+
+    counter_rows = counters(best_improvement_rows(rows7 + fig8.rows))
+    sections.append(format_counters(counter_rows))
+
+    sections.append(format_table2(table2(repeats=1 if quick else 3)))
+
+    elapsed = time.perf_counter() - start
+    header = (
+        "CFM/DARM reproduction — full evaluation report\n"
+        f"(regenerated in {elapsed:.1f}s; see EXPERIMENTS.md for the "
+        "paper-vs-measured discussion)\n"
+    )
+    return header + "\n\n".join([""] + sections) + "\n"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.evaluation",
+        description="Regenerate every table and figure of the paper.")
+    parser.add_argument("--out", help="write the report to this file")
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller sweeps for a fast smoke run")
+    parser.add_argument("--json", metavar="FILE",
+                        help="also dump raw speedup/counter data as JSON")
+    args = parser.parse_args(argv)
+
+    if args.json:
+        import json
+
+        from .experiments import figure7, figure8
+
+        rows7, gm7 = figure7(block_sizes=[16, 32] if args.quick else None)
+        fig8 = figure8()
+        payload = {
+            "figure7": {
+                "geomean": gm7,
+                "rows": [{"kernel": r.kernel, "block": r.block_size,
+                          "speedup": r.speedup,
+                          "baseline": r.comparison.baseline.as_dict(),
+                          "cfm": r.comparison.melded.as_dict()}
+                         for r in rows7],
+            },
+            "figure8": {
+                "geomean": fig8.geomean_all,
+                "geomean_best": fig8.geomean_best,
+                "rows": [{"kernel": r.kernel, "block": r.block_size,
+                          "speedup": r.speedup,
+                          "baseline": r.comparison.baseline.as_dict(),
+                          "cfm": r.comparison.melded.as_dict()}
+                         for r in fig8.rows],
+            },
+        }
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"wrote {args.json}")
+
+    report = build_report(quick=args.quick)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(report)
+        print(f"wrote {args.out}")
+    else:
+        print(report)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

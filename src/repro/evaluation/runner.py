@@ -1,0 +1,155 @@
+"""Compile-and-run plumbing for the evaluation harness.
+
+``compile_baseline`` reproduces the paper's baseline: hand-written kernel
+compiled at ``-O3`` (folding, unrolling, CFG cleanup, if-conversion).
+``compile_cfm`` inserts the CFM pass after ``-O3`` and reruns the late
+cleanups, exactly as §V-A describes the modified HIPCC pipeline (and as
+§IV-G observes, the late if-conversion re-predicates what unpredication
+split, so both configurations see the same late passes).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core import CFMConfig, CFMStats, run_cfm
+from repro.ir import verify_function
+from repro.kernels.common import KernelCase
+from repro.simt import MachineConfig, Metrics, run_kernel
+from repro.transforms import (
+    eliminate_dead_code,
+    optimize,
+    simplify_cfg,
+    speculate_hammocks,
+)
+
+
+@dataclass
+class CompileResult:
+    """Timing breakdown of one kernel compilation (Table II raw data)."""
+
+    o3_seconds: float
+    cfm_seconds: float = 0.0
+    cfm_stats: Optional[CFMStats] = None
+
+    @property
+    def total_seconds(self) -> float:
+        return self.o3_seconds + self.cfm_seconds
+
+
+def compile_baseline(case: KernelCase, verify: bool = True) -> CompileResult:
+    """``-O3`` pipeline only."""
+    start = time.perf_counter()
+    optimize(case.function)
+    seconds = time.perf_counter() - start
+    if verify:
+        verify_function(case.function)
+    return CompileResult(o3_seconds=seconds)
+
+
+def compile_cfm(case: KernelCase, config: Optional[CFMConfig] = None,
+                verify: bool = True) -> CompileResult:
+    """``-O3`` + CFM + late cleanups (§V-A pipeline)."""
+    start = time.perf_counter()
+    optimize(case.function)
+    o3_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    stats = run_cfm(case.function, config)
+    # The "rest of the compilation flow" — late SimplifyCFG and the
+    # aggressive if-conversion that §IV-G notes re-predicates pure
+    # unpredicated blocks.
+    simplify_cfg(case.function)
+    speculate_hammocks(case.function)
+    simplify_cfg(case.function)
+    eliminate_dead_code(case.function)
+    cfm_seconds = time.perf_counter() - start
+    if verify:
+        verify_function(case.function)
+    return CompileResult(o3_seconds=o3_seconds, cfm_seconds=cfm_seconds,
+                         cfm_stats=stats)
+
+
+@dataclass
+class RunResult:
+    """One kernel execution: metrics + verified outputs."""
+
+    metrics: Metrics
+    outputs: Dict[str, List[int]]
+
+
+def execute(case: KernelCase, seed: int = 1234,
+            machine: Optional[MachineConfig] = None,
+            check: bool = True) -> RunResult:
+    inputs = case.make_buffers(seed)
+    outputs, metrics = run_kernel(
+        case.module, case.kernel, case.grid_dim, case.block_dim,
+        buffers={name: list(data) for name, data in inputs.items()},
+        scalars=case.scalars, config=machine)
+    if check:
+        case.verify_outputs(inputs, outputs)
+    return RunResult(metrics=metrics, outputs=outputs)
+
+
+@dataclass
+class Comparison:
+    """Baseline-vs-CFM measurement for one kernel configuration."""
+
+    name: str
+    block_size: int
+    baseline: Metrics
+    melded: Metrics
+    baseline_compile: CompileResult
+    cfm_compile: CompileResult
+
+    @property
+    def speedup(self) -> float:
+        return self.baseline.cycles / self.melded.cycles
+
+    @property
+    def melds(self) -> int:
+        stats = self.cfm_compile.cfm_stats
+        return len(stats.melds) if stats else 0
+
+
+def compare(
+    builder: Callable[..., KernelCase],
+    block_size: int,
+    grid_dim: int = 2,
+    seed: int = 1234,
+    config: Optional[CFMConfig] = None,
+    machine: Optional[MachineConfig] = None,
+    name: Optional[str] = None,
+) -> Comparison:
+    """Build, compile and run one kernel both ways; outputs are verified
+    against the kernel's reference — a CFM miscompile fails loudly."""
+    base_case = builder(block_size=block_size, grid_dim=grid_dim)
+    cfm_case = builder(block_size=block_size, grid_dim=grid_dim)
+
+    base_compile = compile_baseline(base_case)
+    cfm_compile = compile_cfm(cfm_case, config)
+
+    base_run = execute(base_case, seed=seed, machine=machine)
+    cfm_run = execute(cfm_case, seed=seed, machine=machine)
+    assert base_run.outputs == cfm_run.outputs, \
+        f"{base_case.name}: CFM changed observable outputs"
+
+    return Comparison(
+        name=name or base_case.name,
+        block_size=block_size,
+        baseline=base_run.metrics,
+        melded=cfm_run.metrics,
+        baseline_compile=base_compile,
+        cfm_compile=cfm_compile,
+    )
+
+
+def geomean(values: List[float]) -> float:
+    if not values:
+        return 0.0
+    product = 1.0
+    for value in values:
+        product *= value
+    return product ** (1.0 / len(values))

@@ -1,0 +1,67 @@
+"""SSA intermediate representation.
+
+This subpackage is a self-contained, LLVM-like SSA IR: types, values with
+use lists, instructions, basic blocks, functions/modules, a builder, a
+printer/parser pair, and a verifier.  It is the substrate on which the
+CFM control-flow melding transformation (:mod:`repro.core`) operates.
+"""
+
+from .types import (
+    Type,
+    VoidType,
+    LabelType,
+    IntType,
+    FloatType,
+    PointerType,
+    AddressSpace,
+    VOID,
+    LABEL,
+    I1,
+    I8,
+    I16,
+    I32,
+    I64,
+    F32,
+    F64,
+    pointer,
+)
+from .values import Value, User, Constant, Undef, Argument, const_int, const_bool
+from .instructions import (
+    Opcode,
+    IntrinsicName,
+    Instruction,
+    BinaryOp,
+    UnaryOp,
+    ICmp,
+    FCmp,
+    ICmpPredicate,
+    FCmpPredicate,
+    Select,
+    Load,
+    Store,
+    GetElementPtr,
+    Cast,
+    Call,
+    Phi,
+    Branch,
+    Ret,
+)
+from .block import BasicBlock
+from .function import Function, Module, GlobalVariable
+from .builder import IRBuilder
+from .printer import print_function, print_module, format_instruction
+from .verifier import VerificationError, verify_function, is_well_formed
+
+__all__ = [
+    "Type", "VoidType", "LabelType", "IntType", "FloatType", "PointerType",
+    "AddressSpace", "VOID", "LABEL", "I1", "I8", "I16", "I32", "I64", "F32",
+    "F64", "pointer",
+    "Value", "User", "Constant", "Undef", "Argument", "const_int", "const_bool",
+    "Opcode", "IntrinsicName", "Instruction", "BinaryOp", "UnaryOp", "ICmp",
+    "FCmp", "ICmpPredicate", "FCmpPredicate", "Select", "Load", "Store",
+    "GetElementPtr", "Cast", "Call", "Phi", "Branch", "Ret",
+    "BasicBlock", "Function", "Module", "GlobalVariable",
+    "IRBuilder",
+    "print_function", "print_module", "format_instruction",
+    "VerificationError", "verify_function", "is_well_formed",
+]

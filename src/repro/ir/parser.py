@@ -1,0 +1,348 @@
+"""Parser for the textual IR emitted by :mod:`repro.ir.printer`.
+
+The parser accepts the exact grammar the printer produces (an LLVM-flavoured
+subset) and reconstructs a :class:`~repro.ir.function.Module`.  It exists so
+tests can express CFGs compactly and so printed IR round-trips:
+
+    parse_module(print_module(m))  ==  m   (structurally)
+
+Forward references (loop φs, branch targets) are resolved with placeholder
+values that are patched once the whole function has been read.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from .types import (
+    AddressSpace,
+    FloatType,
+    IntType,
+    PointerType,
+    Type,
+    VOID,
+    F32,
+    F64,
+    I1,
+)
+from .values import Constant, Undef, Value
+from .block import BasicBlock
+from .builder import IRBuilder
+from .function import Function, GlobalVariable, Module
+from .instructions import (
+    Branch,
+    Call,
+    Cast,
+    FCmpPredicate,
+    ICmpPredicate,
+    Opcode,
+    Phi,
+    Ret,
+)
+
+
+class ParseError(Exception):
+    """Raised on malformed textual IR, with a line number."""
+
+    def __init__(self, message: str, line_no: int, line: str) -> None:
+        super().__init__(f"line {line_no}: {message}: {line.strip()!r}")
+        self.line_no = line_no
+
+
+class _ForwardRef(Value):
+    """Placeholder for a not-yet-defined SSA name."""
+
+    def __init__(self, type_: Type, name: str) -> None:
+        super().__init__(type_, name)
+
+
+_TYPE_RE = re.compile(
+    r"(?P<base>i\d+|float|double)"
+    r"(?P<ptr>(?:\s+addrspace\(\d+\))?\*)?"
+)
+_GLOBAL_RE = re.compile(
+    r"@(?P<name>[\w.]+)\s*=\s*(?P<kind>shared|global)\s*"
+    r"\[(?P<count>\d+)\s*x\s*(?P<elem>i\d+|float|double)\]"
+)
+_DEFINE_RE = re.compile(r"define\s+void\s+@(?P<name>[\w.]+)\((?P<args>.*)\)\s*\{")
+_LABEL_RE = re.compile(r"(?P<name>[\w.\-]+):(?:\s*;.*)?$")
+
+
+def _parse_type(text: str) -> Type:
+    text = text.strip()
+    match = _TYPE_RE.fullmatch(text)
+    if match is None:
+        raise ValueError(f"cannot parse type {text!r}")
+    base = match.group("base")
+    if base == "float":
+        base_type: Type = F32
+    elif base == "double":
+        base_type = F64
+    else:
+        base_type = IntType(int(base[1:]))
+    ptr = match.group("ptr")
+    if ptr:
+        space_match = re.search(r"addrspace\((\d+)\)", ptr)
+        space = int(space_match.group(1)) if space_match else AddressSpace.FLAT
+        return PointerType(base_type, space)
+    return base_type
+
+
+class _FunctionParser:
+    """Parses one ``define ... { ... }`` body."""
+
+    def __init__(self, module: Module, function: Function) -> None:
+        self.module = module
+        self.function = function
+        self.values: Dict[str, Value] = {f"%{a.name}": a for a in function.args}
+        self.blocks: Dict[str, BasicBlock] = {}
+        self.forwards: Dict[Tuple[str, Type], _ForwardRef] = {}
+        self.builder = IRBuilder()
+
+    # ---- operand handling ------------------------------------------------
+
+    def block_ref(self, name: str) -> BasicBlock:
+        if name not in self.blocks:
+            block = self.function.add_block(name)
+            if block.name != name:  # name uniquing must not rename labels
+                raise ValueError(f"duplicate block label %{name}")
+            self.blocks[name] = block
+        return self.blocks[name]
+
+    def operand(self, text: str, type_: Type) -> Value:
+        text = text.strip()
+        if text == "undef":
+            return Undef(type_)
+        if text.startswith("%"):
+            value = self.values.get(text)
+            if value is not None:
+                return value
+            key = (text, type_)
+            if key not in self.forwards:
+                self.forwards[key] = _ForwardRef(type_, text[1:])
+            return self.forwards[key]
+        if text.startswith("@"):
+            var = self.module.globals.get(text[1:])
+            if var is None:
+                raise ValueError(f"unknown global {text}")
+            return var
+        # Constant literal.
+        if isinstance(type_, FloatType):
+            return Constant(type_, float(text))
+        if isinstance(type_, IntType):
+            return Constant(type_, int(text))
+        raise ValueError(f"cannot parse operand {text!r} of type {type_!r}")
+
+    def typed_operand(self, text: str) -> Value:
+        """Parse ``<type> <ref>``."""
+        text = text.strip()
+        parts = text.rsplit(None, 1)
+        if len(parts) != 2:
+            raise ValueError(f"expected typed operand, got {text!r}")
+        return self.operand(parts[1], _parse_type(parts[0]))
+
+    def define(self, name: Optional[str], value: Value) -> None:
+        if name is None:
+            return
+        key = f"%{name}"
+        if key in self.values:
+            raise ValueError(f"redefinition of {key}")
+        value.name = name
+        self.values[key] = value
+
+    def resolve_forwards(self) -> None:
+        for (ref, _type), placeholder in self.forwards.items():
+            real = self.values.get(ref)
+            if real is None:
+                raise ValueError(f"undefined value {ref}")
+            placeholder.replace_all_uses_with(real)
+
+    # ---- instruction parsing ----------------------------------------------
+
+    def parse_instruction(self, line: str) -> None:
+        line = line.split(";")[0].strip()
+        name: Optional[str] = None
+        body = line
+        assign = re.match(r"%(?P<name>[\w.\-]+)\s*=\s*(?P<body>.*)", line)
+        if assign:
+            name = assign.group("name")
+            body = assign.group("body")
+
+        opcode = body.split(None, 1)[0]
+        rest = body[len(opcode):].strip()
+
+        if opcode in Opcode.BINARY:
+            type_, lhs, rhs = self._split_type_two(rest)
+            self.define(name, self.builder.binop(opcode, self.operand(lhs, type_),
+                                                 self.operand(rhs, type_)))
+        elif opcode == Opcode.FNEG:
+            parts = rest.split(None, 1)
+            type_ = _parse_type(parts[0])
+            self.define(name, self.builder.fneg(self.operand(parts[1], type_)))
+        elif opcode == Opcode.ICMP:
+            pred, tail = rest.split(None, 1)
+            type_, lhs, rhs = self._split_type_two(tail)
+            self.define(name, self.builder.icmp(pred, self.operand(lhs, type_),
+                                                self.operand(rhs, type_)))
+        elif opcode == Opcode.FCMP:
+            pred, tail = rest.split(None, 1)
+            type_, lhs, rhs = self._split_type_two(tail)
+            self.define(name, self.builder.fcmp(pred, self.operand(lhs, type_),
+                                                self.operand(rhs, type_)))
+        elif opcode == Opcode.SELECT:
+            cond_text, true_text, false_text = self._split_commas(rest, 3)
+            cond = self.operand(cond_text.split()[-1], I1)
+            self.define(name, self.builder.select(
+                cond, self.typed_operand(true_text), self.typed_operand(false_text)))
+        elif opcode == Opcode.LOAD:
+            _result_type, ptr_text = self._split_commas(rest, 2)
+            self.define(name, self.builder.load(self.typed_operand(ptr_text)))
+        elif opcode == Opcode.STORE:
+            value_text, ptr_text = self._split_commas(rest, 2)
+            self.builder.store(self.typed_operand(value_text), self.typed_operand(ptr_text))
+        elif opcode == Opcode.GEP:
+            _pointee, base_text, index_text = self._split_commas(rest, 3)
+            self.define(name, self.builder.gep(self.typed_operand(base_text),
+                                               self.typed_operand(index_text)))
+        elif opcode in Opcode.CASTS:
+            value_text, to_text = rest.rsplit(" to ", 1)
+            self.define(name, self.builder.cast(opcode, self.typed_operand(value_text),
+                                                _parse_type(to_text)))
+        elif opcode == Opcode.CALL:
+            match = re.match(r"(?P<type>.+?)\s+@(?P<callee>[\w.]+)\((?P<args>.*)\)", rest)
+            if match is None:
+                raise ValueError(f"cannot parse call {rest!r}")
+            type_text = match.group("type").strip()
+            return_type = VOID if type_text == "void" else _parse_type(type_text)
+            args_text = match.group("args").strip()
+            args = [self.typed_operand(a) for a in self._split_commas(args_text)] \
+                if args_text else []
+            self.define(name, self.builder.call(match.group("callee"), args, return_type))
+        elif opcode == Opcode.PHI:
+            # The type may contain spaces (pointer address spaces): it is
+            # everything before the first incoming-pair bracket.
+            bracket = rest.index("[")
+            type_ = _parse_type(rest[:bracket].strip())
+            phi = self.builder.phi(type_)
+            for pair in re.finditer(r"\[\s*(?P<val>[^,\]]+),\s*%(?P<block>[\w.\-]+)\s*\]",
+                                    rest[bracket:]):
+                phi.add_incoming(self.operand(pair.group("val").strip(), type_),
+                                 self.block_ref(pair.group("block")))
+            self.define(name, phi)
+        elif opcode == Opcode.BR:
+            labels = re.findall(r"label\s+%([\w.\-]+)", rest)
+            if rest.startswith("label"):
+                self.builder.br(self.block_ref(labels[0]))
+            else:
+                cond_text = rest.split(",")[0].split()[-1]
+                cond = self.operand(cond_text, I1)
+                self.builder.cond_br(cond, self.block_ref(labels[0]),
+                                     self.block_ref(labels[1]))
+        elif opcode == Opcode.RET:
+            if rest == "void":
+                self.builder.ret()
+            else:
+                self.builder.ret(self.typed_operand(rest))
+        else:
+            raise ValueError(f"unknown opcode {opcode!r}")
+
+    @staticmethod
+    def _split_commas(text: str, expect: Optional[int] = None) -> List[str]:
+        parts = [p.strip() for p in text.split(",")]
+        if expect is not None and len(parts) != expect:
+            raise ValueError(f"expected {expect} comma-separated parts in {text!r}")
+        return parts
+
+    def _split_type_two(self, text: str) -> Tuple[Type, str, str]:
+        """Parse ``<type> <a>, <b>``."""
+        lhs_text, rhs_text = self._split_commas(text, 2)
+        type_text, lhs_ref = lhs_text.rsplit(None, 1)
+        return _parse_type(type_text), lhs_ref, rhs_text
+
+
+def parse_module(text: str) -> Module:
+    """Parse a full module (globals + functions)."""
+    module = Module()
+    lines = text.splitlines()
+    i = 0
+    while i < len(lines):
+        line = lines[i].split(";")[0].strip() if not lines[i].strip().startswith(";") \
+            else ""
+        if not line:
+            i += 1
+            continue
+        gmatch = _GLOBAL_RE.match(line)
+        if gmatch:
+            space = AddressSpace.SHARED if gmatch.group("kind") == "shared" \
+                else AddressSpace.GLOBAL
+            elem = _parse_type(gmatch.group("elem"))
+            module.add_global(GlobalVariable(gmatch.group("name"),
+                                             PointerType(elem, space),
+                                             int(gmatch.group("count"))))
+            i += 1
+            continue
+        dmatch = _DEFINE_RE.match(line)
+        if dmatch:
+            i = _parse_function_body(module, dmatch, lines, i + 1)
+            continue
+        raise ParseError("unexpected top-level line", i + 1, lines[i])
+    return module
+
+
+def _parse_function_body(module: Module, dmatch, lines: List[str], start: int) -> int:
+    arg_types: List[Type] = []
+    arg_names: List[str] = []
+    args_text = dmatch.group("args").strip()
+    if args_text:
+        for arg in args_text.split(","):
+            type_text, name_text = arg.strip().rsplit(None, 1)
+            arg_types.append(_parse_type(type_text))
+            arg_names.append(name_text.lstrip("%"))
+    function = Function(dmatch.group("name"), arg_types, arg_names)
+    module.add_function(function)
+    parser = _FunctionParser(module, function)
+
+    i = start
+    current: Optional[BasicBlock] = None
+    label_order: List[BasicBlock] = []
+    while i < len(lines):
+        raw = lines[i]
+        line = raw.split(";")[0].rstrip() if not raw.strip().startswith(";") else ""
+        stripped = line.strip()
+        if not stripped:
+            i += 1
+            continue
+        if stripped == "}":
+            try:
+                parser.resolve_forwards()
+            except ValueError as exc:
+                raise ParseError(str(exc), i + 1, raw) from exc
+            # Blocks may have been created out of order by forward branch
+            # references; restore textual (label) order so the entry block
+            # is first and printing round-trips.
+            function._blocks.sort(key=label_order.index)
+            return i + 1
+        label = _LABEL_RE.match(stripped)
+        if label and not raw.startswith("  "):
+            current = parser.block_ref(label.group("name"))
+            label_order.append(current)
+            parser.builder.position_at_end(current)
+            i += 1
+            continue
+        if current is None:
+            raise ParseError("instruction before first label", i + 1, raw)
+        try:
+            parser.parse_instruction(stripped)
+        except ValueError as exc:
+            raise ParseError(str(exc), i + 1, raw) from exc
+        i += 1
+    raise ParseError("unterminated function body", len(lines), "")
+
+
+def parse_function(text: str) -> Function:
+    """Parse a module containing a single function and return it."""
+    module = parse_module(text)
+    if len(module.functions) != 1:
+        raise ValueError("expected exactly one function")
+    return next(iter(module.functions.values()))

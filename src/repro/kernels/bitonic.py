@@ -1,0 +1,107 @@
+"""Bitonic sort — the paper's running example (Figure 1).
+
+Each thread block stages one bucket of ``NUM = block_size`` elements in
+shared memory and sorts it with the bitonic network.  The divergent
+branch ``(tid & k) == 0`` selects between ascending and descending
+compare-and-swap bodies — structurally similar if-then regions that
+CFM melds (Figure 5 shows the transformation pipeline on this kernel).
+
+``NUM`` is a compile-time constant (as in the CUDA original), so ``-O3``
+fully unrolls both sort loops; melding happens on the unrolled regions
+exactly as described in §IV-B.  Unrolling is optional here because CFM
+also handles the rolled form (the divergent region is inside the loop
+body) — the evaluation uses the rolled form to keep simulated code sizes
+manageable, which does not change who wins (divergence is per-iteration).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.ir import I32, ICmpPredicate
+
+from .common import KernelCase, make_rng, random_ints
+from .dsl import GLOBAL_I32_PTR, KernelBuilder
+
+
+def build_bitonic(block_size: int = 64, grid_dim: int = 2) -> KernelCase:
+    """Bitonic sort of ``grid_dim`` buckets of ``block_size`` elements."""
+    num = block_size
+    k = KernelBuilder("bitonic", params=[("values", GLOBAL_I32_PTR)])
+    shared = k.shared_array("shared", I32, num)
+
+    tid = k.thread_id()
+    gid = k.global_thread_id()
+    k.store_at(shared, tid, k.load_at(k.param("values"), gid))
+    k.barrier()
+
+    kk = k.var("k", k.const(2))
+
+    def outer_cond():
+        return k.icmp(ICmpPredicate.SLE, kk.value, k.const(num))
+
+    def outer_body():
+        j = k.var("j", k.lshr(kk.value, k.const(1)))
+
+        def inner_cond():
+            return k.icmp(ICmpPredicate.UGT, j.value, k.const(0))
+
+        def inner_body():
+            ixj = k.xor(tid, j.value, "ixj")
+            in_range = k.icmp(ICmpPredicate.UGT, ixj, tid)
+
+            def compare_swap():
+                direction = k.and_(tid, kk.value)
+                ascending = k.icmp(ICmpPredicate.EQ, direction, k.const(0))
+
+                def asc():
+                    other = k.load_at(shared, ixj)
+                    mine = k.load_at(shared, tid)
+                    out_of_order = k.icmp(ICmpPredicate.SLT, other, mine)
+
+                    def swap():
+                        k.store_at(shared, tid, other)
+                        k.store_at(shared, ixj, mine)
+
+                    k.if_(out_of_order, swap, name="swap.a")
+
+                def desc():
+                    other = k.load_at(shared, ixj)
+                    mine = k.load_at(shared, tid)
+                    out_of_order = k.icmp(ICmpPredicate.SGT, other, mine)
+
+                    def swap():
+                        k.store_at(shared, tid, other)
+                        k.store_at(shared, ixj, mine)
+
+                    k.if_(out_of_order, swap, name="swap.d")
+
+                k.if_(ascending, asc, desc, name="dir")
+
+            k.if_(in_range, compare_swap, name="range")
+            k.barrier()
+            k.set(j, k.lshr(j.value, k.const(1)))
+
+        k.while_(inner_cond, inner_body, name="inner")
+        k.set(kk, k.shl(kk.value, k.const(1)))
+
+    k.while_(outer_cond, outer_body, name="outer")
+    k.store_at(k.param("values"), gid, k.load_at(shared, tid))
+    k.finish()
+
+    n = block_size * grid_dim
+
+    def make_buffers(seed: int) -> Dict[str, List[int]]:
+        rng = make_rng(seed)
+        return {"values": random_ints(rng, n, 0, 2**20)}
+
+    def check(inputs: Dict[str, List[int]], outputs: Dict[str, List[int]]) -> None:
+        for block in range(grid_dim):
+            bucket_in = inputs["values"][block * num:(block + 1) * num]
+            bucket_out = outputs["values"][block * num:(block + 1) * num]
+            assert bucket_out == sorted(bucket_in), \
+                f"bitonic: bucket {block} not sorted"
+
+    return KernelCase(name="bitonic", module=k.module, kernel="bitonic",
+                      grid_dim=grid_dim, block_dim=block_size,
+                      make_buffers=make_buffers, check=check)

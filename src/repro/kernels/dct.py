@@ -1,0 +1,156 @@
+"""DCT quantization kernel (§VI-A, from the CUDA samples).
+
+In-place quantization of a DCT coefficient plane: positive and negative
+coefficients quantize through different rounding paths, giving
+*data-dependent* diamond divergence with similar instruction sequences on
+both sides — the case branch fusion already handles, and where the paper
+measured essentially no CFM speedup (-0.21%, statistically insignificant):
+the divergent work is a handful of ALU instructions on *global-memory*
+operands, so there is little latency to save by melding.
+
+Quantization (integer, as in the CUDA sample's short path):
+
+    q       = quant[idx % table_size]
+    pos:  out = ((v + q/2) / q) * q
+    neg:  out = -(((-v) + q/2) / q) * q
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.ir import (
+    AddressSpace,
+    Constant,
+    F32,
+    FCmpPredicate,
+    I32,
+    ICmpPredicate,
+    Opcode,
+    pointer,
+)
+
+from .common import KernelCase, make_rng
+from .dsl import GLOBAL_I32_PTR, KernelBuilder
+
+GLOBAL_F32_PTR = pointer(F32, AddressSpace.GLOBAL)
+
+#: quantization table period (8x8 DCT blocks in the original sample)
+TABLE_SIZE = 64
+
+
+def build_dct(block_size: int = 64, grid_dim: int = 2) -> KernelCase:
+    k = KernelBuilder("dct_quant", params=[("plane", GLOBAL_I32_PTR),
+                                           ("quant", GLOBAL_I32_PTR)])
+    tid = k.thread_id()
+    gid = k.global_thread_id()
+    value = k.load_at(k.param("plane"), gid, "v")
+    qidx = k.and_(gid, k.const(TABLE_SIZE - 1))
+    q = k.load_at(k.param("quant"), qidx, "q")
+    half = k.lshr(q, k.const(1), "half")
+    is_positive = k.icmp(ICmpPredicate.SGE, value, k.const(0))
+
+    out = k.var("out", k.const(0))
+
+    def positive():
+        rounded = k.add(value, half)
+        scaled = k.sdiv(rounded, q)
+        k.set(out, k.mul(scaled, q))
+
+    def negative():
+        magnitude = k.sub(k.const(0), value)
+        rounded = k.add(magnitude, half)
+        scaled = k.sdiv(rounded, q)
+        restored = k.mul(scaled, q)
+        k.set(out, k.sub(k.const(0), restored))
+
+    k.if_(is_positive, positive, negative, name="sign")
+    k.store_at(k.param("plane"), gid, out.value)
+    k.finish()
+
+    n = block_size * grid_dim
+
+    def make_buffers(seed: int) -> Dict[str, List[int]]:
+        rng = make_rng(seed)
+        plane = [rng.randrange(-1024, 1024) for _ in range(n)]
+        quant = [rng.randrange(1, 64) for _ in range(TABLE_SIZE)]
+        return {"plane": plane, "quant": quant}
+
+    def check(inputs: Dict[str, List[int]], outputs: Dict[str, List[int]]) -> None:
+        quant = inputs["quant"]
+        for i, value in enumerate(inputs["plane"]):
+            q = quant[i & (TABLE_SIZE - 1)]
+            half = q >> 1
+            if value >= 0:
+                expected = ((value + half) // q) * q
+            else:
+                expected = -((((-value) + half) // q) * q)
+            assert outputs["plane"][i] == expected, f"dct: index {i}"
+
+    return KernelCase(name="dct", module=k.module, kernel="dct_quant",
+                      grid_dim=grid_dim, block_dim=block_size,
+                      make_buffers=make_buffers, check=check)
+
+
+def build_dct_float(block_size: int = 64, grid_dim: int = 2) -> KernelCase:
+    """Float variant of the quantization kernel (the CUDA sample operates
+    on ``float`` planes).  Exercises the f32 pipeline end to end: fcmp
+    divergence, fadd/fdiv/fmul melding, and the fptosi/sitofp rounding
+    casts.
+
+    Quantization:  out = trunc((|v| + q/2) / q) * q, sign restored.
+    """
+    k = KernelBuilder("dct_quant_f32", params=[("plane", GLOBAL_F32_PTR),
+                                               ("quant", GLOBAL_F32_PTR)])
+    tid = k.thread_id()
+    gid = k.global_thread_id()
+    value = k.load_at(k.param("plane"), gid, "v")
+    qidx = k.and_(gid, k.const(TABLE_SIZE - 1))
+    q = k.load_at(k.param("quant"), qidx, "q")
+    half = k.fmul(q, Constant(F32, 0.5), "half")
+    is_positive = k.fcmp(FCmpPredicate.OGE, value, Constant(F32, 0.0))
+
+    def quantize(magnitude):
+        rounded = k.fadd(magnitude, half)
+        scaled = k.fdiv(rounded, q)
+        steps = k.cast(Opcode.FPTOSI, scaled, I32)
+        back = k.cast(Opcode.SITOFP, steps, F32)
+        return k.fmul(back, q)
+
+    # Each arm performs its own store (as the CUDA sample's in-place
+    # update does); the stores keep -O3's if-conversion away, so the
+    # diamond reaches CFM and the float ALU chains must meld.
+    def positive():
+        k.store_at(k.param("plane"), gid, quantize(value))
+
+    def negative():
+        magnitude = k.fsub(Constant(F32, 0.0), value)
+        restored = quantize(magnitude)
+        k.store_at(k.param("plane"), gid,
+                   k.fsub(Constant(F32, 0.0), restored))
+
+    k.if_(is_positive, positive, negative, name="sign")
+    k.finish()
+
+    n = block_size * grid_dim
+
+    def make_buffers(seed: int) -> Dict[str, List[int]]:
+        rng = make_rng(seed)
+        plane = [float(rng.randrange(-1024, 1024)) / 4.0 for _ in range(n)]
+        quant = [float(rng.randrange(1, 64)) for _ in range(TABLE_SIZE)]
+        return {"plane": plane, "quant": quant}
+
+    def check(inputs: Dict[str, List[int]], outputs: Dict[str, List[int]]) -> None:
+        quant = inputs["quant"]
+        for i, value in enumerate(inputs["plane"]):
+            q = quant[i & (TABLE_SIZE - 1)]
+            magnitude = value if value >= 0.0 else -value
+            steps = int((magnitude + q * 0.5) / q)  # trunc toward zero
+            expected = float(steps) * q
+            if value < 0.0:
+                expected = -expected
+            assert outputs["plane"][i] == expected, f"dct_f32: index {i}"
+
+    return KernelCase(name="dct_f32", module=k.module, kernel="dct_quant_f32",
+                      grid_dim=grid_dim, block_dim=block_size,
+                      make_buffers=make_buffers, check=check)

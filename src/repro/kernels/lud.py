@@ -1,0 +1,120 @@
+"""LUD perimeter kernel (Rodinia, §VI-A).
+
+``lud_perimeter`` updates the perimeter of the current tile: one half of
+the threads process a *row* strip, the other half a *column* strip, with
+structurally similar bodies — a large diamond that branch fusion can also
+merge once loops are unrolled.  Two properties the paper measures are
+reproduced here:
+
+* **block-size-dependent divergence**: the row/column split is
+  ``(tid & (block_size / 4)) == 0`` — for block sizes 16/32/64 the two
+  groups interleave *within* a warp (divergent, as the paper reports for
+  those sizes), while for 128+ the groups align with warp boundaries and
+  the branch is dynamically convergent (the paper's best-performing LUD
+  configuration is the non-divergent one, where CFM must not slow the
+  kernel down);
+* **long straight-line arms** (``CHUNK`` unrolled element updates per
+  side) that make the Needleman–Wunsch instruction alignment the dominant
+  compile-time cost — Table II's 1.57× LUD compile-time entry.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.ir import AddressSpace, I32, ICmpPredicate, Opcode, pointer
+
+from .common import KernelCase, make_rng, random_ints
+from .dsl import GLOBAL_I32_PTR, KernelBuilder
+
+FLAT_I32_PTR = pointer(I32, AddressSpace.FLAT)
+
+#: elements updated per thread (the unrolled inner loop of the original;
+#: the paper notes LUD's diamond arms reach hundreds of instructions)
+CHUNK = 16
+
+_MASK = 0xFFFFFFFF
+
+
+def _wrap32(value: int) -> int:
+    value &= _MASK
+    return value - (1 << 32) if value >= (1 << 31) else value
+
+
+def build_lud(block_size: int = 32, grid_dim: int = 2) -> KernelCase:
+    k = KernelBuilder("lud_perimeter", params=[("matrix", GLOBAL_I32_PTR),
+                                               ("diag", GLOBAL_I32_PTR)])
+    sdiag = k.shared_array("sdiag", I32, CHUNK)
+
+    tid = k.thread_id()
+    gid = k.global_thread_id()
+
+    # Stage the diagonal tile in shared memory, branch-free so the
+    # staging itself is never divergent (the kernel's only divergence is
+    # the row/column split below, which the paper's block-size study
+    # isolates).  Small blocks store several strided slots per thread;
+    # large blocks redundantly re-write the same values.
+    diag_idx = k.and_(tid, k.const(CHUNK - 1))
+    for offset in range(0, CHUNK, min(block_size, CHUNK)):
+        slot = diag_idx if offset == 0 else k.add(diag_idx, k.const(offset))
+        k.store_at(sdiag, slot, k.load_at(k.param("diag"), slot))
+    k.barrier()
+
+    group_bit = k.and_(tid, k.const(max(1, block_size // 4)))
+    is_row_group = k.icmp(ICmpPredicate.EQ, group_bit, k.const(0))
+    row_base = k.mul(gid, k.const(CHUNK), "row_base")
+    # The original kernel indexes the matrix through a generic pointer;
+    # HIPCC lowers those accesses to FLAT instructions (which is why the
+    # paper's Figure 10 has a flat-memory column for LUD).
+    matrix_flat = k.cast(Opcode.BITCAST, k.param("matrix"), FLAT_I32_PTR,
+                         "matrix.flat")
+
+    def process_row():
+        for e in range(CHUNK):
+            idx = k.add(row_base, k.const(e))
+            value = k.load_at(matrix_flat, idx)
+            pivot = k.load_at(sdiag, k.const(e))
+            scaled = k.mul(value, pivot)
+            shifted = k.ashr(scaled, k.const(4))
+            updated = k.sub(value, shifted)
+            k.store_at(matrix_flat, idx, updated)
+
+    def process_column():
+        for e in range(CHUNK):
+            idx = k.add(row_base, k.const(e))
+            value = k.load_at(matrix_flat, idx)
+            pivot = k.load_at(sdiag, k.const(e))
+            scaled = k.mul(value, pivot)
+            shifted = k.ashr(scaled, k.const(4))
+            updated = k.add(value, shifted)
+            k.store_at(matrix_flat, idx, updated)
+
+    k.if_(is_row_group, process_row, process_column, name="strip")
+    k.finish()
+
+    n = block_size * grid_dim * CHUNK
+
+    def make_buffers(seed: int) -> Dict[str, List[int]]:
+        rng = make_rng(seed)
+        return {"matrix": random_ints(rng, n, 0, 2**12),
+                "diag": random_ints(rng, CHUNK, 1, 2**8)}
+
+    def check(inputs: Dict[str, List[int]], outputs: Dict[str, List[int]]) -> None:
+        diag = inputs["diag"]
+        group_mask = max(1, block_size // 4)
+        for block in range(grid_dim):
+            for tid_ in range(block_size):
+                g = block * block_size + tid_
+                row = (tid_ & group_mask) == 0
+                for e in range(CHUNK):
+                    idx = g * CHUNK + e
+                    value = inputs["matrix"][idx]
+                    shifted = _wrap32(value * diag[e]) >> 4
+                    expected = _wrap32(value - shifted) if row \
+                        else _wrap32(value + shifted)
+                    assert outputs["matrix"][idx] == expected, \
+                        f"lud: index {idx}"
+
+    return KernelCase(name="lud", module=k.module, kernel="lud_perimeter",
+                      grid_dim=grid_dim, block_dim=block_size,
+                      make_buffers=make_buffers, check=check)

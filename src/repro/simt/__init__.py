@@ -1,0 +1,21 @@
+"""SIMT GPU simulator: warps, IPDOM reconvergence, metrics.
+
+This package substitutes for the paper's AMD Vega 64 + rocprof setup: it
+executes kernels warp-by-warp in lockstep with an IPDOM reconvergence
+stack (the divergence mechanism CFM optimizes) and reports the same
+counter families the paper measures.
+"""
+
+from .config import DEFAULT_CONFIG, MachineConfig
+from .machine import GPU, Buffer, run_kernel
+from .memory import DeviceMemory, MemoryError_, sizeof
+from .metrics import Metrics
+from .warp import SimulationError, UNDEF, Warp
+
+__all__ = [
+    "DEFAULT_CONFIG", "MachineConfig",
+    "GPU", "Buffer", "run_kernel",
+    "DeviceMemory", "MemoryError_", "sizeof",
+    "Metrics",
+    "SimulationError", "UNDEF", "Warp",
+]

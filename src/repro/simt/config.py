@@ -1,0 +1,42 @@
+"""Machine model for the SIMT simulator.
+
+The defaults are Vega-flavoured (the paper's GPU): SIMD execution of one
+warp/wavefront per issue, LDS much cheaper than global memory, and
+64-byte memory coalescing segments.  ``warp_size`` defaults to 32 so the
+paper's block-size sweeps (32..1024) divide evenly; the AMD wavefront
+width of 64 is a one-line change and is exercised in tests/ablations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.latency import LatencyModel
+
+
+@dataclass
+class MachineConfig:
+    """Tunable parameters of the simulated GPU."""
+
+    warp_size: int = 32
+    #: static latency table shared with CFM's profitability heuristics
+    latency: LatencyModel = field(default_factory=LatencyModel)
+    #: bytes per coalesced global-memory transaction
+    coalesce_segment_bytes: int = 64
+    #: extra cycles charged per additional memory transaction
+    extra_transaction_cycles: int = 32
+    #: max steps per warp before the simulator assumes non-termination
+    max_warp_steps: int = 2_000_000
+    #: record a per-branch divergence profile (Metrics.branch_profile)
+    profile_branches: bool = False
+
+    def transactions_for(self, addresses) -> int:
+        """Number of coalescing segments touched by the given byte
+        addresses (at least 1 when any lane is active)."""
+        if not addresses:
+            return 0
+        seg = self.coalesce_segment_bytes
+        return len({addr // seg for addr in addresses})
+
+
+DEFAULT_CONFIG = MachineConfig()

@@ -1,0 +1,178 @@
+"""Grid/block execution and the host-side launch API.
+
+The :class:`GPU` owns device memory and launches kernels over a grid of
+thread blocks.  Each block's warps run round-robin with generator-based
+barrier synchronization (``__syncthreads`` yields); non-uniform barrier
+arrival — undefined behaviour on hardware — raises an error here.
+
+The cycle model is deliberately simple and documented: total cycles are
+the *sum of per-warp issue cycles*, i.e. the number of issue slots the
+kernel consumes on a single-issue SIMD core.  Absolute numbers do not
+match any real GPU, but ratios (the paper's speedups) track the quantity
+CFM improves: issued-instruction × latency volume, which divergence
+doubles and melding halves back.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.ir.function import Function, Module
+from repro.ir.types import IntType, Type, I32
+from repro.ir.values import Argument
+
+from .config import DEFAULT_CONFIG, MachineConfig
+from .memory import DeviceMemory, Segment
+from .metrics import Metrics
+from .warp import SimulationError, UNDEF, Warp
+
+
+class Buffer:
+    """Host handle to a device global-memory allocation."""
+
+    def __init__(self, segment: Segment) -> None:
+        self._segment = segment
+
+    @property
+    def address(self) -> int:
+        return self._segment.base
+
+    @property
+    def data(self) -> List:
+        """Current device contents (a copy)."""
+        return list(self._segment.data)
+
+    def write(self, values: Sequence) -> None:
+        if len(values) > self._segment.count:
+            raise ValueError(
+                f"writing {len(values)} elements into buffer of "
+                f"{self._segment.count}")
+        for i, value in enumerate(values):
+            self._segment.data[i] = value
+
+    def __len__(self) -> int:
+        return self._segment.count
+
+    def assert_no_undef(self) -> None:
+        """Trap helper for tests: undef must never escape to memory a
+        host would read."""
+        for i, value in enumerate(self._segment.data):
+            if value is UNDEF:
+                raise SimulationError(f"undef leaked to buffer index {i}")
+
+
+class GPU:
+    """A simulated GPU bound to one module."""
+
+    def __init__(self, module: Module, config: Optional[MachineConfig] = None) -> None:
+        self.module = module
+        self.config = config or DEFAULT_CONFIG
+        self.memory = DeviceMemory(module)
+
+    def alloc(self, name: str, element_type: Type, init: Union[int, Sequence]) -> Buffer:
+        """Allocate a global buffer; ``init`` is a size or initial data."""
+        if isinstance(init, int):
+            segment = self.memory.allocate_buffer(name, element_type, init)
+        else:
+            segment = self.memory.allocate_buffer(name, element_type, len(init))
+            for i, value in enumerate(init):
+                segment.data[i] = value
+        return Buffer(segment)
+
+    def launch(
+        self,
+        kernel: Union[str, Function],
+        grid_dim: int,
+        block_dim: int,
+        args: Dict[str, object],
+    ) -> Metrics:
+        """Run ``kernel`` over ``grid_dim`` blocks of ``block_dim`` threads.
+
+        ``args`` maps parameter names to Python ints/floats or
+        :class:`Buffer` handles (passed as device addresses).
+        """
+        function = (self.module.function(kernel)
+                    if isinstance(kernel, str) else kernel)
+        bound = self._bind_args(function, args)
+        total = Metrics(warp_size=self.config.warp_size)
+        for block_id in range(grid_dim):
+            block_metrics = self._run_block(function, block_id, grid_dim,
+                                            block_dim, bound)
+            total.merge(block_metrics)
+        return total
+
+    def _bind_args(self, function: Function, args: Dict[str, object]) -> Dict[Argument, object]:
+        bound: Dict[Argument, object] = {}
+        missing = [a.name for a in function.args if a.name not in args]
+        if missing:
+            raise ValueError(f"missing kernel arguments: {missing}")
+        for arg in function.args:
+            value = args[arg.name]
+            if isinstance(value, Buffer):
+                if not arg.type.is_pointer:
+                    raise TypeError(f"buffer passed for scalar param %{arg.name}")
+                bound[arg] = value.address
+            else:
+                bound[arg] = value
+        return bound
+
+    def _run_block(self, function: Function, block_id: int, grid_dim: int,
+                   block_dim: int, args: Dict[Argument, object]) -> Metrics:
+        view = self.memory.shared_for_block(block_id)
+        warp_size = self.config.warp_size
+        warps: List[Warp] = []
+        for start in range(0, block_dim, warp_size):
+            lanes = list(range(start, min(start + warp_size, block_dim)))
+            warps.append(Warp(function, lanes, block_dim, block_id, grid_dim,
+                              args, view, self.config))
+
+        generators = [warp.run() for warp in warps]
+        active = list(range(len(warps)))
+        while active:
+            at_barrier: List[int] = []
+            finished: List[int] = []
+            for index in active:
+                try:
+                    event = next(generators[index])
+                    if event != "barrier":  # pragma: no cover - future events
+                        raise SimulationError(f"unknown warp event {event!r}")
+                    at_barrier.append(index)
+                except StopIteration:
+                    finished.append(index)
+            if at_barrier and finished:
+                raise SimulationError(
+                    f"non-uniform barrier: warps {at_barrier} wait while "
+                    f"warps {finished} exited @{function.name}")
+            active = at_barrier
+
+        block_metrics = Metrics(warp_size=warp_size)
+        for warp in warps:
+            block_metrics.merge(warp.metrics)
+        return block_metrics
+
+
+def run_kernel(
+    module: Module,
+    kernel: Union[str, Function],
+    grid_dim: int,
+    block_dim: int,
+    buffers: Dict[str, Sequence],
+    scalars: Optional[Dict[str, object]] = None,
+    element_types: Optional[Dict[str, Type]] = None,
+    config: Optional[MachineConfig] = None,
+) -> tuple:
+    """One-shot convenience: allocate, launch, and read back.
+
+    Returns ``(outputs, metrics)`` where ``outputs`` maps each buffer name
+    to its final contents.
+    """
+    gpu = GPU(module, config)
+    args: Dict[str, object] = dict(scalars or {})
+    handles: Dict[str, Buffer] = {}
+    for name, data in buffers.items():
+        etype = (element_types or {}).get(name, I32)
+        handles[name] = gpu.alloc(name, etype, list(data))
+        args[name] = handles[name]
+    metrics = gpu.launch(kernel, grid_dim, block_dim, args)
+    outputs = {name: handle.data for name, handle in handles.items()}
+    return outputs, metrics

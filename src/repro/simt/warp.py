@@ -1,0 +1,359 @@
+"""Lockstep warp interpreter with an IPDOM reconvergence stack.
+
+This is the execution model whose inefficiency the paper attacks: a warp
+executes one instruction at a time under an *active mask*; at a divergent
+branch the mask splits, the two sides run serially, and the lanes
+reconverge at the immediate post-dominator (§I, §II-A).  Because each
+*issue* costs the instruction's full latency regardless of how many lanes
+are active, divergent code pays twice — exactly the cost CFM's melding
+removes.
+
+The reconvergence stack follows the classic hardware scheme: entries are
+``(pc, rpc, mask)``; on divergence the current entry is rewritten to the
+reconvergence point and the two sides are pushed; an entry whose ``pc``
+reaches its ``rpc`` is popped, implicitly merging its lanes.
+
+φ nodes are evaluated *on edge transfer* (all reads before all writes),
+so blocks themselves only execute non-φ instructions; this is what makes
+per-lane φ resolution correct even when lanes arrive at a join from
+different predecessors at different times.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.analysis.dominators import (
+    compute_postdominator_tree,
+    immediate_postdominator,
+)
+from repro.ir.block import BasicBlock
+from repro.ir.function import Function, GlobalVariable
+from repro.ir.instructions import (
+    BinaryOp,
+    Branch,
+    Call,
+    Cast,
+    FCmp,
+    GetElementPtr,
+    ICmp,
+    Instruction,
+    IntrinsicName,
+    Load,
+    Opcode,
+    Phi,
+    Ret,
+    Select,
+    Store,
+    UnaryOp,
+)
+from repro.ir.types import AddressSpace, FloatType, IntType
+from repro.ir.scalars import (
+    EvalError,
+    eval_binary,
+    eval_cast,
+    eval_fcmp,
+    eval_icmp,
+)
+from repro.ir.values import Argument, Constant, Undef, Value
+
+from .config import MachineConfig
+from .memory import BlockMemoryView, SHARED_BASE, sizeof
+from .metrics import Metrics
+
+
+class SimulationError(Exception):
+    """Raised on traps: undef observation, division by zero, etc."""
+
+
+class _UndefValue:
+    """Sentinel for LLVM ``undef``; observable uses trap."""
+
+    _instance: "_UndefValue" = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "<undef>"
+
+
+UNDEF = _UndefValue()
+
+
+class _StackEntry:
+    __slots__ = ("pc", "rpc", "mask")
+
+    def __init__(self, pc: BasicBlock, rpc: Optional[BasicBlock],
+                 mask: Tuple[int, ...]) -> None:
+        self.pc = pc
+        self.rpc = rpc
+        self.mask = mask
+
+
+class Warp:
+    """One warp: ``warp_size`` lanes executing a kernel in lockstep.
+
+    ``run()`` is a generator that yields ``"barrier"`` each time the warp
+    reaches a block-wide barrier, letting the block scheduler synchronize
+    warps; it returns when every lane has retired.
+    """
+
+    def __init__(
+        self,
+        function: Function,
+        lane_thread_ids: Sequence[int],
+        block_dim: int,
+        block_id: int,
+        grid_dim: int,
+        args: Dict[Argument, object],
+        memory: BlockMemoryView,
+        config: MachineConfig,
+        metrics: Optional[Metrics] = None,
+    ) -> None:
+        self.function = function
+        self.lanes = list(lane_thread_ids)
+        self.block_dim = block_dim
+        self.block_id = block_id
+        self.grid_dim = grid_dim
+        self.args = args
+        self.memory = memory
+        self.config = config
+        self.metrics = metrics if metrics is not None else Metrics()
+        self.metrics.warp_size = config.warp_size
+        self._registers: Dict[Value, List[object]] = {}
+        self._pdt = compute_postdominator_tree(function)
+        self._steps = 0
+
+    # ---- operand access ---------------------------------------------------
+
+    def _read(self, value: Value, lane: int):
+        if isinstance(value, Constant):
+            return value.value
+        if isinstance(value, Undef):
+            return UNDEF
+        if isinstance(value, Argument):
+            return self.args[value]
+        if isinstance(value, GlobalVariable):
+            return self.memory.var_address(value)
+        regs = self._registers.get(value)
+        if regs is None:
+            raise SimulationError(f"read of unwritten value {value.ref()}")
+        return regs[lane]
+
+    def _write(self, instr: Instruction, lane: int, value) -> None:
+        regs = self._registers.get(instr)
+        if regs is None:
+            regs = [UNDEF] * self.config.warp_size
+            self._registers[instr] = regs
+        regs[lane] = value
+
+    # ---- main loop -----------------------------------------------------------
+
+    def run(self) -> Iterator[str]:
+        all_lanes = tuple(range(len(self.lanes)))
+        stack: List[_StackEntry] = [_StackEntry(self.function.entry, None, all_lanes)]
+        while stack:
+            entry = stack[-1]
+            if entry.rpc is not None and entry.pc is entry.rpc:
+                stack.pop()
+                continue
+            yield from self._execute_block(entry, stack)
+            self._steps += 1
+            if self._steps > self.config.max_warp_steps:
+                raise SimulationError(
+                    f"warp exceeded {self.config.max_warp_steps} block steps; "
+                    f"likely non-termination in @{self.function.name}")
+
+    def _execute_block(self, entry: _StackEntry, stack: List[_StackEntry]) -> Iterator[str]:
+        block = entry.pc
+        mask = entry.mask
+        for instr in block.instructions:
+            if isinstance(instr, Phi):
+                continue  # applied on edge transfer
+            if isinstance(instr, Branch):
+                self._execute_branch(instr, entry, stack)
+                return
+            if isinstance(instr, Ret):
+                stack.pop()
+                return
+            if isinstance(instr, Call) and instr.is_barrier:
+                self.metrics.record_barrier(self.config.latency.barrier_latency)
+                yield "barrier"
+                continue
+            self._execute_simple(instr, mask)
+
+    # ---- straight-line execution ------------------------------------------------
+
+    def _execute_simple(self, instr: Instruction, mask: Tuple[int, ...]) -> None:
+        latency = self.config.latency.latency(instr)
+        if isinstance(instr, Load):
+            addresses = []
+            for lane in mask:
+                addr = self._read(instr.pointer, lane)
+                if addr is UNDEF:
+                    raise SimulationError(f"load through undef address: {instr!r}")
+                addresses.append(addr)
+                self._write(instr, lane, self.memory.load(addr))
+            self._record_memory(instr.address_space, addresses, latency)
+            return
+        if isinstance(instr, Store):
+            addresses = []
+            for lane in mask:
+                addr = self._read(instr.pointer, lane)
+                if addr is UNDEF:
+                    raise SimulationError(f"store through undef address: {instr!r}")
+                addresses.append(addr)
+                self.memory.store(addr, self._read(instr.value, lane))
+            self._record_memory(instr.address_space, addresses, latency)
+            return
+        # Pure per-lane computation.
+        for lane in mask:
+            self._write(instr, lane, self._evaluate(instr, lane))
+        self.metrics.record_alu(len(mask), latency)
+
+    def _record_memory(self, static_space: int, addresses: List[int], latency: int) -> None:
+        # FLAT instructions resolve dynamically; for the cycle/transaction
+        # model use the space the addresses actually landed in, but count
+        # the ISSUE under its static encoding (vega vmem/lds/flat counters).
+        resolved_shared = bool(addresses) and addresses[0] >= SHARED_BASE
+        if static_space == AddressSpace.SHARED or (
+                static_space == AddressSpace.FLAT and resolved_shared):
+            transactions = 1
+        else:
+            transactions = max(1, self.config.transactions_for(addresses))
+        extra = (transactions - 1) * self.config.extra_transaction_cycles
+        self.metrics.record_memory(static_space, latency + extra, transactions)
+
+    # ---- control flow --------------------------------------------------------------
+
+    def _transfer(self, pred: BasicBlock, succ: BasicBlock, mask: Tuple[int, ...]) -> None:
+        """Evaluate ``succ``'s φs for ``mask`` lanes arriving from ``pred``
+        (parallel read-then-write semantics)."""
+        phis = succ.phis
+        if not phis:
+            return
+        staged: List[Tuple[Phi, List[object]]] = []
+        for phi in phis:
+            incoming = phi.incoming_for(pred)
+            staged.append((phi, [self._read(incoming, lane) for lane in mask]))
+        for phi, values in staged:
+            for lane, value in zip(mask, values):
+                self._write(phi, lane, value)
+
+    def _execute_branch(self, branch: Branch, entry: _StackEntry,
+                        stack: List[_StackEntry]) -> None:
+        block = entry.pc
+        latency = self.config.latency.branch_latency
+        profile = self.config.profile_branches
+        if not branch.is_conditional:
+            target = branch.true_successor
+            self.metrics.record_branch(latency, divergent=False,
+                                       block_name=block.name, profile=profile)
+            self._transfer(block, target, entry.mask)
+            entry.pc = target
+            return
+
+        taken: List[int] = []
+        not_taken: List[int] = []
+        for lane in entry.mask:
+            cond = self._read(branch.condition, lane)
+            if cond is UNDEF:
+                raise SimulationError(f"branch on undef condition: {branch!r}")
+            (taken if cond else not_taken).append(lane)
+
+        if not not_taken or not taken:
+            target = branch.true_successor if taken else branch.false_successor
+            self.metrics.record_branch(latency, divergent=False,
+                                       block_name=block.name, profile=profile)
+            self._transfer(block, target, entry.mask)
+            entry.pc = target
+            return
+
+        # Divergence: serialize the two sides, reconverge at the IPDOM.
+        self.metrics.record_branch(latency, divergent=True,
+                                   block_name=block.name, profile=profile)
+        rpc = immediate_postdominator(self._pdt, block)
+        entry.pc = rpc  # entry becomes the reconvergence holder
+        if rpc is None:
+            # No common post-dominator (multiple rets): both sides run to
+            # completion independently and never merge.
+            stack.pop()
+            stack.append(_StackEntry(branch.false_successor, None, tuple(not_taken)))
+            stack.append(_StackEntry(branch.true_successor, None, tuple(taken)))
+        else:
+            stack.append(_StackEntry(branch.false_successor, rpc, tuple(not_taken)))
+            stack.append(_StackEntry(branch.true_successor, rpc, tuple(taken)))
+        self._transfer(block, branch.false_successor, tuple(not_taken))
+        self._transfer(block, branch.true_successor, tuple(taken))
+
+    # ---- expression evaluation --------------------------------------------------------
+
+    def _evaluate(self, instr: Instruction, lane: int):
+        if isinstance(instr, BinaryOp):
+            lhs = self._read(instr.lhs, lane)
+            rhs = self._read(instr.rhs, lane)
+            if lhs is UNDEF or rhs is UNDEF:
+                return UNDEF
+            try:
+                return eval_binary(instr.opcode, lhs, rhs, instr.type)
+            except EvalError as exc:
+                raise SimulationError(f"{exc}: {instr!r}") from exc
+        if isinstance(instr, UnaryOp):
+            value = self._read(instr.operand(0), lane)
+            return UNDEF if value is UNDEF else -value
+        if isinstance(instr, ICmp):
+            lhs = self._read(instr.lhs, lane)
+            rhs = self._read(instr.rhs, lane)
+            if lhs is UNDEF or rhs is UNDEF:
+                return UNDEF
+            return eval_icmp(instr.predicate, lhs, rhs, instr.lhs.type)
+        if isinstance(instr, FCmp):
+            lhs = self._read(instr.lhs, lane)
+            rhs = self._read(instr.rhs, lane)
+            if lhs is UNDEF or rhs is UNDEF:
+                return UNDEF
+            return eval_fcmp(instr.predicate, lhs, rhs)
+        if isinstance(instr, Select):
+            cond = self._read(instr.condition, lane)
+            if cond is UNDEF:
+                raise SimulationError(f"select on undef condition: {instr!r}")
+            chosen = instr.true_value if cond else instr.false_value
+            return self._read(chosen, lane)
+        if isinstance(instr, GetElementPtr):
+            base = self._read(instr.base, lane)
+            index = self._read(instr.index, lane)
+            if base is UNDEF or index is UNDEF:
+                return UNDEF
+            return base + index * sizeof(instr.base.type.pointee)
+        if isinstance(instr, Cast):
+            value = self._read(instr.value, lane)
+            if value is UNDEF:
+                return UNDEF
+            try:
+                return eval_cast(instr.opcode, value, instr.value.type, instr.type)
+            except EvalError as exc:
+                raise SimulationError(f"{exc}: {instr!r}") from exc
+        if isinstance(instr, Call):
+            return self._intrinsic(instr, lane)
+        raise SimulationError(f"cannot evaluate {instr!r}")
+
+    def _intrinsic(self, call: Call, lane: int):
+        name = call.callee
+        if name == IntrinsicName.TID_X:
+            return self.lanes[lane]
+        if name == IntrinsicName.NTID_X:
+            return self.block_dim
+        if name == IntrinsicName.CTAID_X:
+            return self.block_id
+        if name == IntrinsicName.NCTAID_X:
+            return self.grid_dim
+        if name in (IntrinsicName.MIN, IntrinsicName.MAX):
+            lhs = self._read(call.args[0], lane)
+            rhs = self._read(call.args[1], lane)
+            if lhs is UNDEF or rhs is UNDEF:
+                return UNDEF
+            return min(lhs, rhs) if name == IntrinsicName.MIN else max(lhs, rhs)
+        raise SimulationError(f"unknown intrinsic @{name}")

@@ -1,0 +1,72 @@
+"""Standard transformation passes — the ``-O3`` substrate CFM sits on.
+
+The paper inserts CFM into the ROCm HIPCC pipeline after ``-O3`` device
+IR generation (§V-A); :func:`o3_pipeline` reproduces the relevant slice
+of that pipeline (folding, unrolling, CFG cleanup, if-conversion) and
+:func:`optimize` drives it to a fixpoint.
+"""
+
+from .pass_manager import FunctionPass, PassPipeline, PassTiming
+from .dce import eliminate_dead_code
+from .constfold import fold_constants
+from .cse import eliminate_common_subexpressions
+from .simplifycfg import (
+    fold_redundant_branches,
+    merge_straightline_blocks,
+    remove_forwarding_blocks,
+    remove_trivial_phis,
+    remove_unreachable_blocks,
+    simplify_cfg,
+)
+from .ssa_repair import repair_ssa
+from .clone import ClonedSubgraph, clone_blocks
+from .unroll import (
+    UnrollLimits,
+    compute_trip_count,
+    unroll_loop,
+    unroll_loops,
+    unroll_partial,
+)
+from .speculate import speculate_hammocks
+from .licm import hoist_loop_invariants
+
+__all__ = [
+    "FunctionPass", "PassPipeline", "PassTiming",
+    "eliminate_dead_code", "fold_constants",
+    "eliminate_common_subexpressions",
+    "fold_redundant_branches", "merge_straightline_blocks",
+    "remove_forwarding_blocks", "remove_trivial_phis",
+    "remove_unreachable_blocks", "simplify_cfg",
+    "repair_ssa",
+    "ClonedSubgraph", "clone_blocks",
+    "UnrollLimits", "compute_trip_count", "unroll_loop", "unroll_loops",
+    "unroll_partial",
+    "speculate_hammocks", "hoist_loop_invariants",
+    "o3_pipeline", "optimize",
+]
+
+
+def o3_pipeline(unroll: bool = True, speculate: bool = True,
+                verify: bool = False) -> PassPipeline:
+    """The baseline optimization pipeline (HIPCC ``-O3`` stand-in)."""
+    pipeline = PassPipeline(verify=verify)
+    pipeline.add("constfold", fold_constants)
+    pipeline.add("simplifycfg", simplify_cfg)
+    pipeline.add("licm", hoist_loop_invariants)
+    if unroll:
+        pipeline.add("unroll", unroll_loops)
+    if speculate:
+        pipeline.add("speculate", speculate_hammocks)
+    pipeline.add("constfold2", fold_constants)
+    pipeline.add("cse", eliminate_common_subexpressions)
+    pipeline.add("simplifycfg2", simplify_cfg)
+    pipeline.add("dce", eliminate_dead_code)
+    return pipeline
+
+
+def optimize(function, unroll: bool = True, speculate: bool = True,
+             verify: bool = False) -> "PassPipeline":
+    """Run the O3 pipeline to a fixpoint; returns the pipeline (timings)."""
+    pipeline = o3_pipeline(unroll=unroll, speculate=speculate, verify=verify)
+    pipeline.run_to_fixpoint(function)
+    return pipeline

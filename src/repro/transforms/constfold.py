@@ -1,0 +1,157 @@
+"""Constant folding + trivial algebraic simplification.
+
+Folding matters for the reproduction because loop unrolling exposes
+constant induction-variable values; folding them turns the unrolled
+bitonic/PCM bodies into the constant-index shared-memory code whose
+isomorphic repetitions CFM melds.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    BinaryOp,
+    Branch,
+    Call,
+    Cast,
+    FCmp,
+    ICmp,
+    Instruction,
+    IntrinsicName,
+    Opcode,
+    Select,
+    UnaryOp,
+)
+from repro.ir.scalars import EvalError, eval_binary, eval_cast, eval_fcmp, eval_icmp
+from repro.ir.values import Constant, Undef, Value
+
+
+def _const(value: Value) -> Optional[Constant]:
+    return value if isinstance(value, Constant) and not isinstance(value, Undef) \
+        else None
+
+
+def _fold_instruction(instr: Instruction) -> Optional[Value]:
+    """The folded replacement value, or None if not foldable."""
+    if isinstance(instr, BinaryOp):
+        lhs, rhs = _const(instr.lhs), _const(instr.rhs)
+        if lhs is not None and rhs is not None:
+            try:
+                return Constant(instr.type,
+                                eval_binary(instr.opcode, lhs.value, rhs.value,
+                                            instr.type))
+            except EvalError:
+                return None
+        return _fold_algebraic(instr)
+    if isinstance(instr, ICmp):
+        lhs, rhs = _const(instr.lhs), _const(instr.rhs)
+        if lhs is not None and rhs is not None:
+            return Constant(instr.type,
+                            eval_icmp(instr.predicate, lhs.value, rhs.value,
+                                      instr.lhs.type))
+        return None
+    if isinstance(instr, FCmp):
+        lhs, rhs = _const(instr.lhs), _const(instr.rhs)
+        if lhs is not None and rhs is not None:
+            return Constant(instr.type,
+                            eval_fcmp(instr.predicate, lhs.value, rhs.value))
+        return None
+    if isinstance(instr, Select):
+        cond = _const(instr.condition)
+        if cond is not None:
+            return instr.true_value if cond.value else instr.false_value
+        if instr.true_value is instr.false_value:
+            return instr.true_value
+        return None
+    if isinstance(instr, Cast):
+        value = _const(instr.value)
+        if value is not None:
+            try:
+                return Constant(instr.type,
+                                eval_cast(instr.opcode, value.value,
+                                          instr.value.type, instr.type))
+            except EvalError:
+                return None
+        return None
+    if isinstance(instr, UnaryOp):
+        value = _const(instr.operand(0))
+        if value is not None:
+            return Constant(instr.type, -value.value)
+        return None
+    if isinstance(instr, Call) and instr.callee in (IntrinsicName.MIN,
+                                                    IntrinsicName.MAX):
+        lhs, rhs = _const(instr.args[0]), _const(instr.args[1])
+        if lhs is not None and rhs is not None:
+            value = (min if instr.callee == IntrinsicName.MIN else max)(
+                lhs.value, rhs.value)
+            return Constant(instr.type, value)
+        return None
+    return None
+
+
+def _fold_algebraic(instr: BinaryOp) -> Optional[Value]:
+    """x+0, x*1, x*0, x-x, x^x and friends."""
+    lhs, rhs = instr.lhs, instr.rhs
+    rc = _const(rhs)
+    opcode = instr.opcode
+    if rc is not None:
+        if rc.value == 0 and opcode in (Opcode.ADD, Opcode.SUB, Opcode.OR,
+                                        Opcode.XOR, Opcode.SHL, Opcode.LSHR,
+                                        Opcode.ASHR):
+            return lhs
+        if rc.value == 1 and opcode in (Opcode.MUL, Opcode.SDIV, Opcode.UDIV):
+            return lhs
+        if rc.value == 0 and opcode in (Opcode.MUL, Opcode.AND):
+            return Constant(instr.type, 0)
+    lc = _const(lhs)
+    if lc is not None:
+        if lc.value == 0 and opcode in (Opcode.ADD, Opcode.OR, Opcode.XOR):
+            return rhs
+        if lc.value == 0 and opcode in (Opcode.MUL, Opcode.AND, Opcode.SHL,
+                                        Opcode.LSHR, Opcode.ASHR,
+                                        Opcode.UDIV, Opcode.SDIV):
+            return Constant(instr.type, 0)
+        if lc.value == 1 and opcode == Opcode.MUL:
+            return rhs
+    if lhs is rhs:
+        if opcode in (Opcode.SUB, Opcode.XOR):
+            return Constant(instr.type, 0)
+        if opcode in (Opcode.AND, Opcode.OR):
+            return lhs
+    return None
+
+
+def fold_constants(function: Function) -> bool:
+    """Fold to a fixpoint; also folds constant-condition branches into
+    unconditional ones (the edge cleanup is left to SimplifyCFG)."""
+    changed = False
+    progress = True
+    while progress:
+        progress = False
+        for block in function.blocks:
+            for instr in block.instructions:
+                if isinstance(instr, Branch):
+                    if instr.is_conditional:
+                        cond = _const(instr.condition)
+                        if cond is not None:
+                            _fold_branch(block, instr, bool(cond.value))
+                            progress = changed = True
+                    continue
+                replacement = _fold_instruction(instr)
+                if replacement is None:
+                    continue
+                instr.replace_all_uses_with(replacement)
+                instr.erase_from_parent()
+                progress = changed = True
+    return changed
+
+
+def _fold_branch(block, branch: Branch, taken: bool) -> None:
+    kept = branch.true_successor if taken else branch.false_successor
+    dropped = branch.false_successor if taken else branch.true_successor
+    if dropped is not kept:
+        for phi in dropped.phis:
+            phi.remove_incoming(block)
+    block.replace_terminator(Branch([kept]))

@@ -1,0 +1,74 @@
+"""Function-pass infrastructure.
+
+A *pass* is any callable ``(Function) -> bool`` returning whether it
+changed the IR.  :class:`PassPipeline` runs passes in order (optionally to
+a fixpoint) and can verify the IR after each pass — the test suite runs
+every pipeline in verifying mode, which is how transform bugs surface as
+precise verifier errors rather than downstream miscompiles.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.ir.function import Function
+from repro.ir.verifier import verify_function
+
+FunctionPass = Callable[[Function], bool]
+
+
+@dataclass
+class PassTiming:
+    """Wall-clock seconds spent in one pass (Table II's raw material)."""
+
+    name: str
+    seconds: float
+    changed: bool
+
+
+class PassPipeline:
+    """An ordered list of named function passes."""
+
+    def __init__(self, passes: Optional[List[Tuple[str, FunctionPass]]] = None,
+                 verify: bool = False) -> None:
+        self._passes: List[Tuple[str, FunctionPass]] = list(passes or [])
+        self.verify = verify
+        self.timings: List[PassTiming] = []
+
+    def add(self, name: str, pass_: FunctionPass) -> "PassPipeline":
+        self._passes.append((name, pass_))
+        return self
+
+    def run(self, function: Function) -> bool:
+        """Run each pass once, in order.  Returns True if any changed IR."""
+        changed = False
+        for name, pass_ in self._passes:
+            start = time.perf_counter()
+            pass_changed = pass_(function)
+            self.timings.append(
+                PassTiming(name, time.perf_counter() - start, pass_changed))
+            changed |= pass_changed
+            if self.verify:
+                try:
+                    verify_function(function)
+                except Exception as exc:
+                    raise RuntimeError(
+                        f"IR verification failed after pass {name!r}") from exc
+        return changed
+
+    def run_to_fixpoint(self, function: Function, max_iterations: int = 32) -> bool:
+        """Repeat the whole pipeline until nothing changes."""
+        any_change = False
+        for _ in range(max_iterations):
+            if not self.run(function):
+                return any_change
+            any_change = True
+        raise RuntimeError(
+            f"pipeline did not reach a fixpoint in {max_iterations} iterations "
+            f"on @{function.name}")
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(t.seconds for t in self.timings)

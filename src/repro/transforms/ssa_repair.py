@@ -1,0 +1,127 @@
+"""SSA dominance repair: re-establish "defs dominate uses" with φ nodes.
+
+CFM's subgraph melding can break SSA form (Figure 4 of the paper: after
+melding, a definition from the true path no longer dominates its later
+use).  The paper fixes this in ``PreProcess`` by inserting a φ whose
+other incoming value is ``undef`` — the value provably flows only along
+paths where it was actually defined.
+
+This module implements the general version: for every definition with a
+non-dominated use, φs are placed on the iterated dominance frontier of
+the defining block, with ``undef`` flowing in from paths that bypass the
+definition.  It is CFM's pre-processing step (Algorithm 2) generalized,
+and doubles as a utility for any transform that displaces definitions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.dominators import (
+    DominatorTree,
+    compute_dominator_tree,
+    dominance_frontier,
+)
+from repro.ir.block import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import Instruction, Phi
+from repro.ir.values import Undef, Value
+
+
+def repair_ssa(function: Function) -> bool:
+    """Fix all def-use dominance violations.  Returns True if changed."""
+    changed = False
+    # Recompute analyses once; φ insertion does not change the CFG.
+    dt = compute_dominator_tree(function)
+    frontier = dominance_frontier(function, dt)
+    for block in function.blocks:
+        for instr in block.instructions:
+            if instr.type.is_void or not instr.is_used:
+                continue
+            if _has_violation(dt, instr):
+                _repair_definition(function, dt, frontier, instr)
+                changed = True
+    return changed
+
+
+def _has_violation(dt: DominatorTree, instr: Instruction) -> bool:
+    for user, index in instr.uses:
+        if not isinstance(user, Instruction) or user.parent is None:
+            continue
+        use_index = index if isinstance(user, Phi) else None
+        if not dt.instruction_dominates(instr, user, use_index):
+            return True
+    return False
+
+
+def _repair_definition(function: Function, dt: DominatorTree,
+                       frontier: Dict[BasicBlock, Set[BasicBlock]],
+                       definition: Instruction) -> None:
+    """Single-definition SSA reconstruction with undef elsewhere."""
+    def_block = definition.parent
+
+    # Iterated dominance frontier of the defining block.
+    idf: Set[BasicBlock] = set()
+    work = [def_block]
+    while work:
+        block = work.pop()
+        for candidate in frontier.get(block, ()):  # DF may lack new blocks
+            if candidate not in idf:
+                idf.add(candidate)
+                work.append(candidate)
+
+    # One φ per join block, wired lazily.
+    phis: Dict[BasicBlock, Phi] = {}
+    for join in idf:
+        phi = Phi(definition.type, definition.name or "ssa")
+        join.insert_after_phis(phi)
+        phis[join] = phi
+
+    def available_at_end(block: BasicBlock) -> Value:
+        """The reaching value of ``definition`` at the end of ``block``."""
+        node: Optional[BasicBlock] = block
+        while node is not None:
+            if node in phis:
+                return phis[node]
+            if node is def_block:
+                return definition
+            node = dt.idom(node) if dt.contains(node) else None
+        return Undef(definition.type)
+
+    for join, phi in phis.items():
+        for pred in join.preds:
+            phi.add_incoming(available_at_end(pred), pred)
+
+    def available_for_use(user: Instruction, index: int) -> Value:
+        if isinstance(user, Phi):
+            return available_at_end(user.incoming_blocks[index])
+        block = user.parent
+        if block is def_block:
+            instrs = block.instructions
+            if instrs.index(definition) < instrs.index(user):
+                return definition
+        if block in phis:
+            return phis[block]
+        parent = dt.idom(block) if dt.contains(block) else None
+        return available_at_end(parent) if parent is not None else Undef(definition.type)
+
+    for user, index in definition.uses:
+        if not isinstance(user, Instruction) or user in phis.values():
+            continue
+        use_index = index if isinstance(user, Phi) else None
+        if dt.instruction_dominates(definition, user, use_index):
+            continue
+        user.set_operand(index, available_for_use(user, index))
+
+    # Drop the φs nothing ended up using (keeps IR tidy without a DCE run).
+    for phi in phis.values():
+        _erase_if_dead(phi)
+
+
+def _erase_if_dead(phi: Phi) -> None:
+    users = set(u for u, _ in phi.uses)
+    if users - {phi}:
+        return
+    phi._uses = [(u, i) for u, i in phi._uses if u is not phi]
+    if not phi.is_used:
+        phi.erase_from_parent()

@@ -1,0 +1,212 @@
+"""Tests for the GPU divergence analysis."""
+
+from repro.analysis import compute_divergence
+from repro.ir import Call, IntrinsicName, Load
+
+from tests.support import build_diamond, parse
+
+
+class TestSeeds:
+    def test_tid_is_divergent(self):
+        f = build_diamond()
+        info = compute_divergence(f)
+        tid = next(i for i in f.instructions()
+                   if isinstance(i, Call) and i.callee == IntrinsicName.TID_X)
+        assert info.is_divergent(tid)
+
+    def test_arguments_uniform_by_default(self):
+        f = build_diamond()
+        info = compute_divergence(f)
+        assert info.is_uniform(f.args[0])
+        assert info.is_uniform(f.args[1])
+
+    def test_explicit_divergent_argument(self):
+        f = parse("""
+define void @k(i32 %x) {
+entry:
+  %y = add i32 %x, 1
+  ret void
+}
+""")
+        info = compute_divergence(f, divergent_args=[f.args[0]])
+        assert info.is_divergent(f.args[0])
+        y = f.entry.instructions[0]
+        assert info.is_divergent(y)
+
+
+class TestDataDependence:
+    def test_taint_propagates_through_arithmetic(self):
+        f = parse("""
+define void @k(i32 addrspace(1)* %p, i32 %n) {
+entry:
+  %tid = call i32 @llvm.gpu.tid.x()
+  %a = add i32 %tid, 1
+  %b = mul i32 %a, 2
+  %u = add i32 %n, 3
+  ret void
+}
+""")
+        info = compute_divergence(f)
+        entry = f.entry
+        tid, a, b, u = entry.instructions[:4]
+        assert info.is_divergent(a)
+        assert info.is_divergent(b)
+        assert info.is_uniform(u)
+
+    def test_load_divergent_iff_pointer_divergent(self):
+        f = parse("""
+define void @k(i32 addrspace(1)* %p) {
+entry:
+  %tid = call i32 @llvm.gpu.tid.x()
+  %dptr = getelementptr i32, i32 addrspace(1)* %p, i32 %tid
+  %dval = load i32, i32 addrspace(1)* %dptr
+  %uptr = getelementptr i32, i32 addrspace(1)* %p, i32 0
+  %uval = load i32, i32 addrspace(1)* %uptr
+  ret void
+}
+""")
+        info = compute_divergence(f)
+        loads = [i for i in f.instructions() if isinstance(i, Load)]
+        assert info.is_divergent(loads[0])
+        assert info.is_uniform(loads[1])
+
+
+class TestBranchClassification:
+    def test_divergent_branch_detected(self):
+        f = build_diamond()
+        info = compute_divergence(f)
+        assert info.has_divergent_branch(f.entry)
+
+    def test_uniform_branch_not_divergent(self):
+        f = parse("""
+define void @k(i32 %n) {
+entry:
+  %c = icmp slt i32 %n, 10
+  br i1 %c, label %a, label %b
+a:
+  br label %b
+b:
+  ret void
+}
+""")
+        info = compute_divergence(f)
+        assert not info.has_divergent_branch(f.entry)
+        assert info.divergent_branch_blocks == set()
+
+
+class TestSyncDependence:
+    def test_phi_at_divergent_join_is_divergent(self):
+        f = parse("""
+define void @k(i32 %n) {
+entry:
+  %tid = call i32 @llvm.gpu.tid.x()
+  %c = icmp slt i32 %tid, %n
+  br i1 %c, label %a, label %b
+a:
+  br label %m
+b:
+  br label %m
+m:
+  %p = phi i32 [ 1, %a ], [ 2, %b ]
+  ret void
+}
+""")
+        info = compute_divergence(f)
+        phi = f.block_by_name("m").phis[0]
+        # Incoming values are uniform constants, but WHICH one arrives
+        # depends on the thread: sync dependence.
+        assert info.is_divergent(phi)
+
+    def test_phi_at_uniform_join_stays_uniform(self):
+        f = parse("""
+define void @k(i32 %n) {
+entry:
+  %c = icmp slt i32 %n, 10
+  br i1 %c, label %a, label %b
+a:
+  br label %m
+b:
+  br label %m
+m:
+  %p = phi i32 [ 1, %a ], [ 2, %b ]
+  ret void
+}
+""")
+        info = compute_divergence(f)
+        phi = f.block_by_name("m").phis[0]
+        assert info.is_uniform(phi)
+
+    def test_loop_live_out_temporal_divergence(self):
+        # Threads leave the loop at different iterations -> values defined
+        # in the loop and used OUTSIDE it are divergent (temporal
+        # divergence), while the counter stays uniform for active threads.
+        f = parse("""
+define void @k(i32 addrspace(1)* %out) {
+entry:
+  %tid = call i32 @llvm.gpu.tid.x()
+  br label %h
+h:
+  %i = phi i32 [ 0, %entry ], [ %ni, %h ]
+  %ni = add i32 %i, 1
+  %c = icmp slt i32 %ni, %tid
+  br i1 %c, label %h, label %exit
+exit:
+  %p = getelementptr i32, i32 addrspace(1)* %out, i32 0
+  store i32 %ni, i32 addrspace(1)* %p
+  ret void
+}
+""")
+        info = compute_divergence(f)
+        assert info.has_divergent_branch(f.block_by_name("h"))
+        h = f.block_by_name("h")
+        ni = h.instructions[1]
+        assert ni.name == "ni"
+        # %ni is used in %exit, outside the loop: temporally divergent.
+        assert info.is_divergent(ni)
+
+    def test_loop_internal_value_stays_uniform(self):
+        # The same loop, but nothing escapes: the counter phi is uniform
+        # across the still-active threads.
+        f = parse("""
+define void @k() {
+entry:
+  %tid = call i32 @llvm.gpu.tid.x()
+  br label %h
+h:
+  %i = phi i32 [ 0, %entry ], [ %ni, %h ]
+  %ni = add i32 %i, 1
+  %c = icmp slt i32 %ni, %tid
+  br i1 %c, label %h, label %exit
+exit:
+  ret void
+}
+""")
+        info = compute_divergence(f)
+        phi = f.block_by_name("h").phis[0]
+        assert info.is_uniform(phi)
+
+    def test_transitive_branch_divergence(self):
+        # A uniform-looking branch whose condition depends on a
+        # sync-divergent phi must itself become divergent.
+        f = parse("""
+define void @k(i32 %n) {
+entry:
+  %tid = call i32 @llvm.gpu.tid.x()
+  %c = icmp slt i32 %tid, %n
+  br i1 %c, label %a, label %b
+a:
+  br label %m
+b:
+  br label %m
+m:
+  %p = phi i32 [ 1, %a ], [ 2, %b ]
+  %c2 = icmp eq i32 %p, 1
+  br i1 %c2, label %x, label %y
+x:
+  br label %y
+y:
+  ret void
+}
+""")
+        info = compute_divergence(f)
+        assert info.has_divergent_branch(f.block_by_name("m"))

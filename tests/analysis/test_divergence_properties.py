@@ -1,0 +1,75 @@
+"""Property tests on the divergence analysis invariants.
+
+The analysis result must be a *closed fixpoint*: every data-dependence
+and branch-classification rule, re-checked after the fact, must hold of
+the returned sets.  Random kernels (reusing the fuzzer generators) give
+the shapes.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import compute_divergence
+from repro.ir import Branch, Call, IntrinsicName, Load, Phi
+from repro.transforms import optimize
+
+import tests.integration.test_cfm_fuzzer as cfm_fuzz
+import tests.integration.test_pipeline_fuzzer as pipe_fuzz
+
+
+def closure_holds(function, info):
+    divergent = info.divergent_values
+    for block in function.blocks:
+        for instr in block:
+            if instr.type.is_void:
+                continue
+            if isinstance(instr, Call) and \
+                    instr.callee in IntrinsicName.THREAD_ID_SOURCES:
+                assert info.is_divergent(instr), "tid seed must be divergent"
+                continue
+            if isinstance(instr, Load):
+                if info.is_divergent(instr.pointer):
+                    assert info.is_divergent(instr), \
+                        "load of divergent address must be divergent"
+                continue
+            if isinstance(instr, Phi):
+                continue  # sync dependence checked via branches below
+            if any(op in divergent for op in instr.operands):
+                assert info.is_divergent(instr), \
+                    f"data dependence not closed at {instr!r}"
+    for block in function.blocks:
+        term = block.terminator
+        if isinstance(term, Branch) and term.is_conditional:
+            if info.is_divergent(term.condition):
+                assert info.has_divergent_branch(block), \
+                    f"divergent condition but branch not classified: {block.name}"
+            else:
+                assert not info.has_divergent_branch(block)
+
+
+@given(spec=cfm_fuzz.kernel_specs())
+@settings(max_examples=30, deadline=None)
+def test_divergence_closure_on_branchy_kernels(spec):
+    built = cfm_fuzz.build_fuzz_kernel(spec)
+    optimize(built.function)
+    info = compute_divergence(built.function)
+    closure_holds(built.function, info)
+
+
+@given(spec=pipe_fuzz.loop_kernel_specs())
+@settings(max_examples=30, deadline=None)
+def test_divergence_closure_on_loopy_kernels(spec):
+    built = pipe_fuzz.build_loop_kernel(spec)
+    optimize(built.function)
+    info = compute_divergence(built.function)
+    closure_holds(built.function, info)
+
+
+@given(spec=cfm_fuzz.kernel_specs())
+@settings(max_examples=20, deadline=None)
+def test_divergence_is_deterministic(spec):
+    built = cfm_fuzz.build_fuzz_kernel(spec)
+    optimize(built.function)
+    first = compute_divergence(built.function)
+    second = compute_divergence(built.function)
+    assert first.divergent_values == second.divergent_values
+    assert first.divergent_branch_blocks == second.divergent_branch_blocks

@@ -1,0 +1,118 @@
+"""Property tests: post-dominators and regions cross-checked against
+networkx / brute-force path enumeration on random CFGs."""
+
+import networkx as nx
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import (
+    compute_postdominator_tree,
+    immediate_postdominator,
+    is_region,
+)
+from repro.ir import Function, IRBuilder, const_bool
+
+
+def _random_cfg(seed_edges, n_blocks):
+    f = Function("rand", [], [])
+    blocks = [f.add_block(f"n{i}") for i in range(n_blocks)]
+    builder = IRBuilder()
+    for i, block in enumerate(blocks):
+        builder.position_at_end(block)
+        choices = seed_edges[i]
+        if not choices:
+            builder.ret()
+        elif len(choices) == 1:
+            builder.br(blocks[choices[0]])
+        else:
+            builder.cond_br(const_bool(True), blocks[choices[0]],
+                            blocks[choices[1]])
+    g = nx.DiGraph()
+    g.add_nodes_from(range(n_blocks))
+    for i, block in enumerate(blocks):
+        for succ in block.succs:
+            g.add_edge(i, int(succ.name[1:]))
+    return f, g
+
+
+@st.composite
+def cfg_shapes(draw):
+    n = draw(st.integers(min_value=2, max_value=10))
+    edges = []
+    for i in range(n):
+        kind = draw(st.integers(min_value=0, max_value=3))
+        if kind == 0:
+            edges.append([])
+        elif kind == 1:
+            edges.append([draw(st.integers(0, n - 1))])
+        else:
+            edges.append([draw(st.integers(0, n - 1)),
+                          draw(st.integers(0, n - 1))])
+    edges[n - 1] = []  # ensure a ret exists
+    return n, edges
+
+
+@given(cfg_shapes())
+@settings(max_examples=80, deadline=None)
+def test_postdominance_agrees_with_path_enumeration(shape):
+    """b postdom a  <=>  every path a -> any exit passes through b
+    (within the reachable part, considering only exits reachable from a)."""
+    n, edges = shape
+    f, g = _random_cfg(edges, n)
+    pdt = compute_postdominator_tree(f)
+    reachable = nx.descendants(g, 0) | {0}
+    exits = [i for i in reachable if not list(g.successors(i))]
+
+    for a in sorted(reachable):
+        my_exits = [e for e in exits if e == a or nx.has_path(g, a, e)]
+        if not my_exits:
+            continue  # a is inside an infinite loop: postdom undefined
+        for b in sorted(reachable):
+            claimed = pdt.dominates(f.blocks[b], f.blocks[a])
+            if a == b:
+                assert claimed
+                continue
+            # Remove b: if some exit is still reachable from a, b does not
+            # post-dominate a.
+            pruned = g.subgraph(set(g.nodes) - {b})
+            escapes = a in pruned and any(
+                e in pruned and (e == a or nx.has_path(pruned, a, e))
+                for e in my_exits)
+            expected = not escapes
+            assert claimed == expected, (a, b, edges)
+
+
+@given(cfg_shapes())
+@settings(max_examples=60, deadline=None)
+def test_ipdom_is_a_postdominator(shape):
+    n, edges = shape
+    f, g = _random_cfg(edges, n)
+    pdt = compute_postdominator_tree(f)
+    reachable = nx.descendants(g, 0) | {0}
+    for i in sorted(reachable):
+        block = f.blocks[i]
+        ipdom = immediate_postdominator(pdt, block)
+        if ipdom is not None:
+            assert pdt.dominates(ipdom, block)
+            assert ipdom is not block
+
+
+@given(cfg_shapes())
+@settings(max_examples=60, deadline=None)
+def test_region_edges_are_really_single_entry_exit(shape):
+    """Whatever is_region accepts must have no side entries/exits."""
+    n, edges = shape
+    f, g = _random_cfg(edges, n)
+    reachable = nx.descendants(g, 0) | {0}
+    blocks = f.blocks
+    for e in sorted(reachable):
+        for x in sorted(reachable):
+            region = is_region(blocks[e], blocks[x])
+            if region is None:
+                continue
+            for node in region.blocks:
+                for succ in node.succs:
+                    assert succ in region.blocks or succ is region.exit
+                if node is region.entry:
+                    continue
+                for pred in node.preds:
+                    assert pred in region.blocks

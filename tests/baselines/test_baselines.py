@@ -1,0 +1,180 @@
+"""Tests for tail merging and branch fusion — the Table I baselines."""
+
+import pytest
+
+from repro.analysis import compute_divergence
+from repro.baselines import fuse_branches, merge_tails
+from repro.evaluation.runner import execute
+from repro.ir import Module, verify_function
+from repro.kernels.patterns import (
+    build_complex_pattern,
+    build_diamond_identical,
+    build_diamond_distinct,
+)
+from repro.simt import run_kernel
+from repro.transforms import optimize
+
+from tests.support import parse
+
+
+class TestTailMerging:
+    def test_merges_identical_diamond(self):
+        case = build_diamond_identical()
+        optimize(case.function)
+        assert merge_tails(case.function)
+        verify_function(case.function)
+        execute(case, seed=1)
+
+    def test_refuses_distinct_operands(self):
+        case = build_diamond_distinct()
+        optimize(case.function)
+        assert not merge_tails(case.function)
+
+    def test_partial_suffix_merge(self):
+        f = parse("""
+define void @k(i1 %c, i32 %x, i32 addrspace(1)* %p) {
+entry:
+  br i1 %c, label %a, label %b
+a:
+  %a1 = mul i32 %x, 3
+  %a2 = add i32 %x, 7
+  store i32 %a2, i32 addrspace(1)* %p
+  br label %m
+b:
+  %b1 = xor i32 %x, 5
+  %b2 = add i32 %x, 7
+  store i32 %b2, i32 addrspace(1)* %p
+  br label %m
+m:
+  ret void
+}
+""")
+        assert merge_tails(f)
+        verify_function(f)
+        tail = f.block_by_name("m.tail")
+        assert [i.opcode for i in tail] == ["add", "store", "br"]
+
+    def test_phi_conflict_limits_merge(self):
+        f = parse("""
+define void @k(i1 %c, i32 %x) {
+entry:
+  br i1 %c, label %a, label %b
+a:
+  %a1 = add i32 %x, 7
+  br label %m
+b:
+  %b1 = add i32 %x, 7
+  br label %m
+m:
+  %p = phi i32 [ 0, %a ], [ 1, %b ]
+  ret void
+}
+""")
+        # The φ distinguishes the paths: merging would corrupt it.
+        assert not merge_tails(f)
+
+    def test_phi_unified_by_merge(self):
+        f = parse("""
+define void @k(i1 %c, i32 %x) {
+entry:
+  br i1 %c, label %a, label %b
+a:
+  %a1 = add i32 %x, 7
+  br label %m
+b:
+  %b1 = add i32 %x, 7
+  br label %m
+m:
+  %p = phi i32 [ %a1, %a ], [ %b1, %b ]
+  %u = mul i32 %p, 2
+  ret void
+}
+""")
+        # Both φ values become the same merged instruction: allowed.
+        assert merge_tails(f)
+        verify_function(f)
+        assert not f.block_by_name("m").phis or \
+            len(f.block_by_name("m").phis[0].incoming) == 1
+
+    def test_merge_preserves_semantics(self):
+        src = """
+define void @k(i32 addrspace(1)* %p, i32 %n) {
+entry:
+  %tid = call i32 @llvm.gpu.tid.x()
+  %c = icmp slt i32 %tid, %n
+  br i1 %c, label %a, label %b
+a:
+  %g1 = getelementptr i32, i32 addrspace(1)* %p, i32 %tid
+  %v1 = load i32, i32 addrspace(1)* %g1
+  %r1 = add i32 %v1, 9
+  store i32 %r1, i32 addrspace(1)* %g1
+  br label %m
+b:
+  %g2 = getelementptr i32, i32 addrspace(1)* %p, i32 %tid
+  %v2 = load i32, i32 addrspace(1)* %g2
+  %r2 = add i32 %v2, 9
+  store i32 %r2, i32 addrspace(1)* %g2
+  br label %m
+m:
+  ret void
+}
+"""
+        base = parse(src)
+        merged = parse(src)
+        assert merge_tails(merged)
+        verify_function(merged)
+        out1, _ = run_kernel(base.module, "k", 1, 8,
+                             buffers={"p": list(range(8))}, scalars={"n": 4})
+        out2, _ = run_kernel(merged.module, "k", 1, 8,
+                             buffers={"p": list(range(8))}, scalars={"n": 4})
+        assert out1 == out2
+
+
+class TestBranchFusion:
+    def test_fuses_identical_diamond(self):
+        case = build_diamond_identical()
+        optimize(case.function)
+        assert fuse_branches(case.function)
+        verify_function(case.function)
+        execute(case, seed=1)
+
+    def test_fuses_distinct_diamond(self):
+        from repro.transforms import (
+            eliminate_dead_code,
+            simplify_cfg,
+            speculate_hammocks,
+        )
+
+        case = build_diamond_distinct()
+        optimize(case.function)
+        before = len(compute_divergence(case.function).divergent_branch_blocks)
+        assert fuse_branches(case.function)
+        # Unpredication re-introduces guarded gap blocks; the pipeline's
+        # late if-conversion re-predicates them (§IV-G).
+        simplify_cfg(case.function)
+        speculate_hammocks(case.function)
+        simplify_cfg(case.function)
+        eliminate_dead_code(case.function)
+        verify_function(case.function)
+        after = len(compute_divergence(case.function).divergent_branch_blocks)
+        assert after < before
+        execute(case, seed=1)
+
+    def test_refuses_complex_control_flow(self):
+        case = build_complex_pattern()
+        optimize(case.function)
+        before = len(compute_divergence(case.function).divergent_branch_blocks)
+        fuse_branches(case.function)
+        after = len(compute_divergence(case.function).divergent_branch_blocks)
+        # The outer divergent region is not a diamond: untouched.  (Inner
+        # data-dependent diamonds may or may not be fusable; the outer
+        # region's branch must survive.)
+        assert after >= before - 2
+        verify_function(case.function)
+        execute(case, seed=1)
+
+    def test_subsumes_tail_merging_cases(self):
+        # Every pattern tail merging handles, branch fusion handles too.
+        case = build_diamond_identical()
+        optimize(case.function)
+        assert fuse_branches(case.function)

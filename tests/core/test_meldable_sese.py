@@ -1,0 +1,315 @@
+"""Tests for meldable-region detection, SESE decomposition and the
+ordered isomorphism check (Definitions 5–6)."""
+
+from repro.analysis import compute_divergence, compute_postdominator_tree
+from repro.core import (
+    contains_barrier,
+    find_meldable_region,
+    path_subgraphs,
+    simplify_path_subgraphs,
+    subgraph_isomorphism,
+    subgraphs_meldable,
+)
+
+from tests.support import build_diamond, parse
+
+
+DIVERGENT_DIAMOND = """
+define void @k(i32 %n) {
+entry:
+  %tid = call i32 @llvm.gpu.tid.x()
+  %c = icmp slt i32 %tid, %n
+  br i1 %c, label %a, label %b
+a:
+  %x = add i32 %tid, 1
+  br label %m
+b:
+  %y = add i32 %tid, 2
+  br label %m
+m:
+  ret void
+}
+"""
+
+
+def region_of(f, block_name):
+    divergence = compute_divergence(f)
+    pdt = compute_postdominator_tree(f)
+    return find_meldable_region(f.block_by_name(block_name), divergence, pdt), pdt
+
+
+class TestMeldableRegion:
+    def test_divergent_diamond_detected(self):
+        f = parse(DIVERGENT_DIAMOND)
+        region, _ = region_of(f, "entry")
+        assert region is not None
+        assert region.entry.name == "entry"
+        assert region.exit.name == "m"
+        assert region.true_first.name == "a"
+        assert region.false_first.name == "b"
+
+    def test_uniform_branch_rejected(self):
+        f = parse("""
+define void @k(i32 %n) {
+entry:
+  %c = icmp slt i32 %n, 5
+  br i1 %c, label %a, label %b
+a:
+  br label %m
+b:
+  br label %m
+m:
+  ret void
+}
+""")
+        region, _ = region_of(f, "entry")
+        assert region is None  # not divergent
+
+    def test_triangle_rejected(self):
+        # if-without-else: the false successor post-dominates the true one.
+        f = parse("""
+define void @k(i32 %n) {
+entry:
+  %tid = call i32 @llvm.gpu.tid.x()
+  %c = icmp slt i32 %tid, %n
+  br i1 %c, label %a, label %m
+a:
+  br label %m
+m:
+  ret void
+}
+""")
+        region, _ = region_of(f, "entry")
+        assert region is None
+
+    def test_non_branch_block_rejected(self):
+        f = parse(DIVERGENT_DIAMOND)
+        region, _ = region_of(f, "m")
+        assert region is None
+
+
+class TestPathSubgraphs:
+    def test_single_block_paths(self):
+        f = parse(DIVERGENT_DIAMOND)
+        region, pdt = region_of(f, "entry")
+        subs = path_subgraphs(region.true_first, region.exit, pdt)
+        assert len(subs) == 1
+        assert subs[0].is_single_block
+        assert subs[0].entry.name == "a"
+        assert subs[0].target.name == "m"
+
+    def test_sequence_of_subgraphs(self):
+        f = parse("""
+define void @k(i32 %n) {
+entry:
+  %tid = call i32 @llvm.gpu.tid.x()
+  %c = icmp slt i32 %tid, %n
+  br i1 %c, label %t1, label %f1
+t1:
+  %c2 = icmp slt i32 %tid, 3
+  br i1 %c2, label %t1a, label %t1b
+t1a:
+  br label %t2
+t1b:
+  br label %t2
+t2:
+  br label %m
+f1:
+  br label %m
+m:
+  ret void
+}
+""")
+        region, pdt = region_of(f, "entry")
+        subs = path_subgraphs(region.true_first, region.exit, pdt)
+        # true path: region (t1 .. t2), then single block t2.
+        assert len(subs) == 2
+        assert not subs[0].is_single_block
+        assert subs[0].entry.name == "t1"
+        assert subs[1].is_single_block
+        assert subs[1].entry.name == "t2"
+        false_subs = path_subgraphs(region.false_first, region.exit, pdt)
+        assert len(false_subs) == 1
+
+    def test_empty_path(self):
+        f = parse(DIVERGENT_DIAMOND)
+        _, pdt = region_of(f, "entry")
+        assert path_subgraphs(f.block_by_name("m"), f.block_by_name("m"), pdt) == []
+
+
+class TestSimplify:
+    def test_multi_exit_subgraph_gets_collector(self):
+        f = parse("""
+define void @k(i32 %n) {
+entry:
+  %tid = call i32 @llvm.gpu.tid.x()
+  %c = icmp slt i32 %tid, %n
+  br i1 %c, label %t1, label %f1
+t1:
+  %c2 = icmp slt i32 %tid, 3
+  br i1 %c2, label %t1a, label %t1b
+t1a:
+  br label %m
+t1b:
+  br label %m
+f1:
+  br label %m
+m:
+  ret void
+}
+""")
+        region, pdt = region_of(f, "entry")
+        subs = path_subgraphs(region.true_first, region.exit, pdt)
+        assert len(subs) == 1
+        assert subs[0].exit is None  # two exit edges t1a->m, t1b->m
+        assert simplify_path_subgraphs(f, subs)
+        from repro.ir import verify_function
+
+        verify_function(f)
+        assert subs[0].exit is not None
+        assert subs[0].exit.single_succ is f.block_by_name("m")
+
+    def test_simple_subgraph_untouched(self):
+        f = parse(DIVERGENT_DIAMOND)
+        region, pdt = region_of(f, "entry")
+        subs = path_subgraphs(region.true_first, region.exit, pdt)
+        blocks_before = len(f.blocks)
+        assert not simplify_path_subgraphs(f, subs)
+        assert len(f.blocks) == blocks_before
+
+    def test_collector_merges_phi_values(self):
+        f = parse("""
+define void @k(i32 %n) {
+entry:
+  %tid = call i32 @llvm.gpu.tid.x()
+  %c = icmp slt i32 %tid, %n
+  br i1 %c, label %t1, label %f1
+t1:
+  %c2 = icmp slt i32 %tid, 3
+  br i1 %c2, label %t1a, label %t1b
+t1a:
+  %x = add i32 %tid, 1
+  br label %m
+t1b:
+  %y = add i32 %tid, 2
+  br label %m
+f1:
+  br label %m
+m:
+  %p = phi i32 [ %x, %t1a ], [ %y, %t1b ], [ 0, %f1 ]
+  ret void
+}
+""")
+        region, pdt = region_of(f, "entry")
+        subs = path_subgraphs(region.true_first, region.exit, pdt)
+        simplify_path_subgraphs(f, subs)
+        from repro.ir import verify_function
+
+        verify_function(f)
+        m_phi = f.block_by_name("m").phis[0]
+        assert len(m_phi.incoming) == 2  # collector + f1
+        collector_phi = subs[0].exit.phis[0]
+        assert len(collector_phi.incoming) == 2
+
+
+class TestIsomorphism:
+    def make_pair(self, true_body: str, false_body: str):
+        f = parse(f"""
+define void @k(i32 %n) {{
+entry:
+  %tid = call i32 @llvm.gpu.tid.x()
+  %c = icmp slt i32 %tid, %n
+  br i1 %c, label %t0, label %f0
+{true_body}
+{false_body}
+m:
+  ret void
+}}
+""")
+        region, pdt = region_of(f, "entry")
+        true_subs = path_subgraphs(region.true_first, region.exit, pdt)
+        false_subs = path_subgraphs(region.false_first, region.exit, pdt)
+        simplify_path_subgraphs(f, true_subs)
+        simplify_path_subgraphs(f, false_subs)
+        return f, true_subs, false_subs
+
+    def test_matching_if_then_regions(self):
+        f, ts, fs = self.make_pair(
+            """
+t0:
+  %tc = icmp slt i32 %tid, 2
+  br i1 %tc, label %t0a, label %t0e
+t0a:
+  br label %t0e
+t0e:
+  br label %m
+""",
+            """
+f0:
+  %fc = icmp slt i32 %tid, 4
+  br i1 %fc, label %f0a, label %f0e
+f0a:
+  br label %f0e
+f0e:
+  br label %m
+""")
+        mapping = subgraphs_meldable(ts[0], fs[0])
+        assert mapping is not None
+        names = {(a.name, b.name) for a, b in mapping}
+        assert ("t0", "f0") in names
+        assert ("t0a", "f0a") in names
+
+    def test_mismatched_shapes_rejected(self):
+        f, ts, fs = self.make_pair(
+            """
+t0:
+  %tc = icmp slt i32 %tid, 2
+  br i1 %tc, label %t0a, label %t0e
+t0a:
+  br label %t0e
+t0e:
+  br label %m
+""",
+            """
+f0:
+  br label %m
+""")
+        # true: 3-block region (+collector); false: single block.
+        assert subgraphs_meldable(ts[0], fs[0]) is None
+
+    def test_single_blocks_meldable(self):
+        f = parse(DIVERGENT_DIAMOND)
+        region, pdt = region_of(f, "entry")
+        ts = path_subgraphs(region.true_first, region.exit, pdt)
+        fs = path_subgraphs(region.false_first, region.exit, pdt)
+        mapping = subgraphs_meldable(ts[0], fs[0])
+        assert mapping == [(f.block_by_name("a"), f.block_by_name("b"))]
+
+    def test_overlapping_subgraphs_rejected(self):
+        f = parse(DIVERGENT_DIAMOND)
+        region, pdt = region_of(f, "entry")
+        ts = path_subgraphs(region.true_first, region.exit, pdt)
+        assert subgraphs_meldable(ts[0], ts[0]) is None
+
+    def test_barrier_blocks_melding(self):
+        f = parse("""
+define void @k(i32 %n) {
+entry:
+  %tid = call i32 @llvm.gpu.tid.x()
+  %c = icmp slt i32 %tid, %n
+  br i1 %c, label %a, label %b
+a:
+  call void @llvm.gpu.barrier()
+  br label %m
+b:
+  call void @llvm.gpu.barrier()
+  br label %m
+m:
+  ret void
+}
+""")
+        region, pdt = region_of(f, "entry")
+        ts = path_subgraphs(region.true_first, region.exit, pdt)
+        fs = path_subgraphs(region.false_first, region.exit, pdt)
+        assert contains_barrier(ts[0])
+        assert subgraphs_meldable(ts[0], fs[0]) is None

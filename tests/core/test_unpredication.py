@@ -1,0 +1,136 @@
+"""Unit tests for the unpredication step in isolation (§IV-E)."""
+
+import pytest
+
+from repro.core import CFMConfig, Side, run_cfm
+from repro.core.melder import MeldResult
+from repro.core.unpredication import unpredicate
+from repro.ir import (
+    Branch,
+    I32,
+    IRBuilder,
+    Module,
+    Phi,
+    Store,
+    Undef,
+    const_bool,
+    pointer,
+    verify_function,
+)
+from repro.simt import run_kernel
+
+from tests.support import parse
+
+
+def build_melded_like_block():
+    """Hand-construct a 'melded' block: BOTH-run, TRUE-run, BOTH-run."""
+    f = parse("""
+define void @k(i32 addrspace(1)* %p, i32 %n) {
+entry:
+  %tid = call i32 @llvm.gpu.tid.x()
+  %c = icmp slt i32 %tid, %n
+  br label %melded
+melded:
+  %g = getelementptr i32, i32 addrspace(1)* %p, i32 %tid
+  %v = load i32, i32 addrspace(1)* %g
+  %t1 = mul i32 %v, 3
+  store i32 %t1, i32 addrspace(1)* %g
+  %both = add i32 %t1, 1
+  br label %exit
+exit:
+  ret void
+}
+""")
+    melded = f.block_by_name("melded")
+    instrs = {i.name: i for i in melded if not i.type.is_void or i.opcode == "store"}
+    cond = f.block_by_name("entry").instructions[1]
+    sides = {}
+    for instr in melded.instructions:
+        if instr.is_terminator:
+            continue
+        sides[instr] = Side.BOTH
+    # Mark the mul+store as a TRUE-side gap run.
+    store = [i for i in melded if i.opcode == "store"][0]
+    sides[instrs["t1"]] = Side.TRUE
+    sides[store] = Side.TRUE
+    result = MeldResult(entry=melded, melded_blocks=[melded], sides=sides,
+                        condition=cond)
+    return f, melded, result
+
+
+class TestSplitting:
+    def test_side_effect_run_always_split(self):
+        f, melded, result = build_melded_like_block()
+        assert unpredicate(f, result, split_pure_runs=False)
+        verify_function(f)
+        # The store must now sit in a block guarded by the condition.
+        store = [i for i in f.instructions() if i.opcode == "store"][0]
+        guard_preds = store.parent.preds
+        assert len(guard_preds) == 1
+        guard_branch = guard_preds[0].terminator
+        assert guard_branch.is_conditional
+        assert guard_branch.condition is result.condition
+        # TRUE-side run: the guarded block is the TRUE successor.
+        assert guard_branch.true_successor is store.parent
+
+    def test_values_flow_out_via_undef_phis(self):
+        f, melded, result = build_melded_like_block()
+        unpredicate(f, result)
+        verify_function(f)
+        phis = [i for i in f.instructions() if isinstance(i, Phi)]
+        assert phis, "expected SSA-repair φs for gap-defined values"
+        for phi in phis:
+            assert any(isinstance(v, Undef) for v in phi.incoming_values)
+
+    def test_no_gaps_no_change(self):
+        f, melded, result = build_melded_like_block()
+        for instr in list(result.sides):
+            result.sides[instr] = Side.BOTH
+        assert not unpredicate(f, result)
+
+    def test_false_side_run_guarded_on_false_edge(self):
+        f, melded, result = build_melded_like_block()
+        store = [i for i in melded if i.opcode == "store"][0]
+        mul = [i for i in melded if i.opcode == "mul"][0]
+        result.sides[store] = Side.FALSE
+        result.sides[mul] = Side.FALSE
+        unpredicate(f, result)
+        verify_function(f)
+        store = [i for i in f.instructions() if i.opcode == "store"][0]
+        guard_branch = store.parent.preds[0].terminator
+        assert guard_branch.false_successor is store.parent
+
+
+class TestEndToEndSemantics:
+    SRC = """
+define void @k(i32 addrspace(1)* %a, i32 addrspace(1)* %b, i32 %n) {
+entry:
+  %tid = call i32 @llvm.gpu.tid.x()
+  %c = icmp slt i32 %tid, %n
+  br i1 %c, label %t, label %f
+t:
+  %tp = getelementptr i32, i32 addrspace(1)* %a, i32 %tid
+  store i32 111, i32 addrspace(1)* %tp
+  %tq = getelementptr i32, i32 addrspace(1)* %b, i32 %tid
+  store i32 1, i32 addrspace(1)* %tq
+  br label %m
+f:
+  %fp = getelementptr i32, i32 addrspace(1)* %a, i32 %tid
+  store i32 222, i32 addrspace(1)* %fp
+  br label %m
+m:
+  ret void
+}
+"""
+
+    def test_one_sided_stores_never_leak(self):
+        """The true path stores twice, the false path once: after melding,
+        the unmatched store must only fire for true-path lanes."""
+        melded = parse(self.SRC)
+        run_cfm(melded)
+        verify_function(melded)
+        out, _ = run_kernel(melded.module, "k", 1, 8,
+                            buffers={"a": [0] * 8, "b": [0] * 8},
+                            scalars={"n": 3})
+        assert out["a"] == [111] * 3 + [222] * 5
+        assert out["b"] == [1] * 3 + [0] * 5

@@ -1,0 +1,122 @@
+"""Fuzz the full -O3 pipeline (fold/LICM/unroll/CSE/if-convert/DCE) on
+randomly generated kernels with loops, then CFM on top.
+
+Complements test_cfm_fuzzer (which fuzzes branch-only shapes): here the
+divergent region sits inside loops — constant-bound (unrollable) or
+runtime-bound (rolled, LICM'd) — so the interactions between the
+unroller, LICM, CSE and the melder get exercised together.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import run_cfm
+from repro.ir import I32, ICmpPredicate, verify_function
+from repro.kernels.dsl import GLOBAL_I32_PTR, KernelBuilder
+from repro.simt import run_kernel
+from repro.transforms import (
+    eliminate_dead_code,
+    optimize,
+    simplify_cfg,
+    speculate_hammocks,
+)
+
+BLOCK = 8
+
+_OPS = [
+    lambda k, x, y: k.add(x, y),
+    lambda k, x, y: k.sub(x, y),
+    lambda k, x, y: k.xor(x, y),
+    lambda k, x, y: k.and_(x, y),
+    lambda k, x, y: k.or_(x, y),
+    lambda k, x, y: k.smax(x, y),
+]
+
+
+@st.composite
+def loop_kernel_specs(draw):
+    trip_kind = draw(st.sampled_from(["const", "runtime"]))
+    trips = draw(st.integers(1, 4))
+    true_ops = draw(st.lists(st.integers(0, len(_OPS) - 1), min_size=1,
+                             max_size=3))
+    false_ops = draw(st.lists(st.integers(0, len(_OPS) - 1), min_size=1,
+                              max_size=3))
+    guard_threshold = draw(st.integers(-20, 20))
+    use_inner_guard = draw(st.booleans())
+    return (trip_kind, trips, true_ops, false_ops, guard_threshold,
+            use_inner_guard)
+
+
+def build_loop_kernel(spec) -> KernelBuilder:
+    trip_kind, trips, true_ops, false_ops, threshold, inner_guard = spec
+    k = KernelBuilder("fuzzloop", params=[("a", GLOBAL_I32_PTR),
+                                          ("b", GLOBAL_I32_PTR),
+                                          ("n", I32)])
+    tid = k.thread_id()
+    bound = k.const(trips) if trip_kind == "const" else k.param("n")
+    parity = k.and_(tid, k.const(1))
+    is_even = k.icmp(ICmpPredicate.EQ, parity, k.const(0))
+
+    def emit_side(array, ops, salt):
+        def side():
+            value = k.load_at(array, tid)
+
+            def mutate(value=value):
+                acc = value
+                for op_index in ops:
+                    acc = _OPS[op_index](k, acc, k.const(3 + salt + op_index))
+                k.store_at(array, tid, acc)
+
+            if inner_guard:
+                guard = k.icmp(ICmpPredicate.SGT, value, k.const(threshold))
+                k.if_(guard, mutate, name="g")
+            else:
+                mutate()
+
+        return side
+
+    def body(_i):
+        k.if_(is_even,
+              emit_side(k.param("a"), true_ops, 1),
+              emit_side(k.param("b"), false_ops, 2),
+              name="div")
+
+    k.for_range("i", k.const(0), bound, body)
+    k.finish()
+    return k
+
+
+def run_variant(spec, seed, pipeline):
+    values = [(seed * 2654435761 + i * 97) % 151 - 75 for i in range(2 * BLOCK)]
+    buffers = {"a": values[:BLOCK], "b": values[BLOCK:]}
+    built = build_loop_kernel(spec)
+    pipeline(built.function)
+    verify_function(built.function)
+    out, _ = run_kernel(built.module, "fuzzloop", 1, BLOCK,
+                        buffers={k: list(v) for k, v in buffers.items()},
+                        scalars={"n": 3})
+    return out
+
+
+@given(spec=loop_kernel_specs(), seed=st.integers(0, 2**20))
+@settings(max_examples=40, deadline=None)
+def test_o3_preserves_semantics(spec, seed):
+    reference = run_variant(spec, seed, lambda f: None)
+    optimized = run_variant(spec, seed, lambda f: optimize(f))
+    assert reference == optimized
+
+
+@given(spec=loop_kernel_specs(), seed=st.integers(0, 2**20))
+@settings(max_examples=40, deadline=None)
+def test_o3_plus_cfm_preserves_semantics(spec, seed):
+    def full(function):
+        optimize(function)
+        run_cfm(function)
+        simplify_cfg(function)
+        speculate_hammocks(function)
+        simplify_cfg(function)
+        eliminate_dead_code(function)
+
+    reference = run_variant(spec, seed, lambda f: None)
+    melded = run_variant(spec, seed, full)
+    assert reference == melded

@@ -1,0 +1,99 @@
+"""Tests for the `python -m repro.ir` command-line tool."""
+
+import pytest
+
+from repro.ir.__main__ import main
+
+KERNEL = """
+define void @k(i32 addrspace(1)* %a, i32 addrspace(1)* %b) {
+entry:
+  %tid = call i32 @llvm.gpu.tid.x()
+  %parity = and i32 %tid, 1
+  %c = icmp eq i32 %parity, 0
+  br i1 %c, label %t, label %f
+t:
+  %tp = getelementptr i32, i32 addrspace(1)* %a, i32 %tid
+  %tv = load i32, i32 addrspace(1)* %tp
+  store i32 %tv, i32 addrspace(1)* %tp
+  br label %m
+f:
+  %fp = getelementptr i32, i32 addrspace(1)* %b, i32 %tid
+  %fv = load i32, i32 addrspace(1)* %fp
+  store i32 %fv, i32 addrspace(1)* %fp
+  br label %m
+m:
+  ret void
+}
+"""
+
+BROKEN = """
+define void @bad() {
+entry:
+  %x = add i32 %ghost, 1
+  ret void
+}
+"""
+
+
+@pytest.fixture
+def kernel_file(tmp_path):
+    path = tmp_path / "k.ll"
+    path.write_text(KERNEL)
+    return str(path)
+
+
+class TestCLI:
+    def test_parse_and_print(self, kernel_file, capsys):
+        assert main([kernel_file]) == 0
+        out = capsys.readouterr().out
+        assert "define void @k" in out
+        assert "br i1 %c" in out
+
+    def test_parse_error_reported(self, tmp_path, capsys):
+        path = tmp_path / "bad.ll"
+        path.write_text(BROKEN)
+        assert main([str(path)]) == 1
+        assert "parse error" in capsys.readouterr().err
+
+    def test_cfm_melds(self, kernel_file, capsys):
+        assert main([kernel_file, "--cfm", "--quiet"]) == 0
+        err = capsys.readouterr().err
+        assert "1 melds" in err
+
+    def test_divergence_report(self, kernel_file, capsys):
+        assert main([kernel_file, "--divergence", "--quiet"]) == 0
+        err = capsys.readouterr().err
+        assert "divergent branches: entry" in err
+
+    def test_dot_export(self, kernel_file, tmp_path, capsys):
+        dot_path = tmp_path / "cfg.dot"
+        assert main([kernel_file, "--dot", str(dot_path), "--quiet"]) == 0
+        content = dot_path.read_text()
+        assert content.startswith("digraph")
+        assert '"entry"' in content
+
+    def test_optimize_pipeline(self, kernel_file, capsys):
+        assert main([kernel_file, "--optimize"]) == 0
+        out = capsys.readouterr().out
+        assert "define void @k" in out
+
+    def test_verification_failure_detected(self, tmp_path, capsys):
+        # Structurally parseable but SSA-invalid: use before def across
+        # non-dominating blocks.
+        path = tmp_path / "invalid.ll"
+        path.write_text("""
+define void @k(i1 %c) {
+entry:
+  br i1 %c, label %a, label %b
+a:
+  %x = add i32 1, 2
+  br label %m
+b:
+  br label %m
+m:
+  %y = add i32 %x, 3
+  ret void
+}
+""")
+        assert main([str(path)]) == 2
+        assert "verification failed" in capsys.readouterr().err

@@ -1,0 +1,59 @@
+"""Tests for the Graphviz DOT exporter."""
+
+from repro.analysis import compute_divergence
+from repro.ir.dot import function_to_dot, melding_stages_to_dot
+
+from tests.support import build_diamond, parse
+
+
+class TestDotExport:
+    def test_contains_all_blocks_and_edges(self):
+        f = build_diamond()
+        dot = function_to_dot(f)
+        for block in f.blocks:
+            assert f'"{block.name}"' in dot
+        assert '"entry" -> "then" [label="T"];' in dot
+        assert '"entry" -> "else" [label="F"];' in dot
+        assert '"then" -> "merge";' in dot
+
+    def test_valid_digraph_structure(self):
+        f = build_diamond()
+        dot = function_to_dot(f)
+        assert dot.startswith('digraph "diamond" {')
+        assert dot.rstrip().endswith("}")
+        assert dot.count("{") == dot.count("}") + dot.count("\\{") * 0
+
+    def test_highlight_and_divergent_styles(self):
+        f = build_diamond()
+        then = f.block_by_name("then")
+        dot = function_to_dot(f, highlight=[then], divergent=[f.entry])
+        assert 'fillcolor="#c8e6c9"' in dot
+        assert 'penwidth=2' in dot
+
+    def test_instruction_truncation(self):
+        lines = "\n".join(f"  %v{i} = add i32 %x, {i}" for i in range(30))
+        f = parse(f"""
+define void @big(i32 %x) {{
+entry:
+{lines}
+  ret void
+}}
+""")
+        dot = function_to_dot(f, max_instructions=5)
+        assert "more)" in dot
+
+    def test_special_characters_escaped(self):
+        f = build_diamond()
+        dot = function_to_dot(f)
+        # Record labels must not contain raw < > { } from the IR text.
+        for line in dot.splitlines():
+            if "label=" in line and "shape=record" not in line:
+                payload = line.split('label="', 1)[1]
+                assert "<" not in payload.replace("\\<", "")
+
+    def test_melding_stages_marks_divergence(self):
+        f = build_diamond()
+        info = compute_divergence(f)
+        assert info.has_divergent_branch(f.entry)
+        dot = melding_stages_to_dot(f)
+        assert 'penwidth=2' in dot

@@ -1,0 +1,162 @@
+"""Round-trip tests for the textual IR printer/parser pair."""
+
+import pytest
+
+from repro.ir import (
+    AddressSpace,
+    Branch,
+    GlobalVariable,
+    Load,
+    Phi,
+    Store,
+    print_function,
+    print_module,
+    verify_function,
+)
+from repro.ir.parser import ParseError, parse_function, parse_module
+
+from tests.support import build_diamond
+
+
+KERNEL_TEXT = """
+@buf = shared [128 x i32]
+
+define void @k(i32 addrspace(1)* %data, i32 %n) {
+entry:
+  %tid = call i32 @llvm.gpu.tid.x()
+  %c = icmp slt i32 %tid, %n
+  br i1 %c, label %body, label %exit
+body:
+  %p = getelementptr i32, i32 addrspace(3)* @buf, i32 %tid
+  %v = load i32, i32 addrspace(3)* %p
+  %d = add i32 %v, 7
+  store i32 %d, i32 addrspace(3)* %p
+  call void @llvm.gpu.barrier()
+  br label %exit
+exit:
+  ret void
+}
+"""
+
+
+class TestParse:
+    def test_parse_globals(self):
+        m = parse_module(KERNEL_TEXT)
+        buf = m.globals["buf"]
+        assert buf.is_shared
+        assert buf.element_count == 128
+        assert buf.type.space == AddressSpace.SHARED
+
+    def test_parse_function_structure(self):
+        f = parse_module(KERNEL_TEXT).function("k")
+        assert [b.name for b in f.blocks] == ["entry", "body", "exit"]
+        assert len(f.args) == 2
+        verify_function(f)
+
+    def test_parse_instruction_kinds(self):
+        f = parse_module(KERNEL_TEXT).function("k")
+        body = f.block_by_name("body")
+        opcodes = [i.opcode for i in body]
+        assert opcodes == ["getelementptr", "load", "add", "store", "call", "br"]
+
+    def test_load_store_address_spaces(self):
+        f = parse_module(KERNEL_TEXT).function("k")
+        body = f.block_by_name("body")
+        load = [i for i in body if isinstance(i, Load)][0]
+        store = [i for i in body if isinstance(i, Store)][0]
+        assert load.address_space == AddressSpace.SHARED
+        assert store.address_space == AddressSpace.SHARED
+
+    def test_forward_reference_phi(self):
+        f = parse_function("""
+define void @loop(i32 %n) {
+entry:
+  br label %header
+header:
+  %i = phi i32 [ 0, %entry ], [ %next, %header ]
+  %next = add i32 %i, 1
+  %c = icmp slt i32 %next, %n
+  br i1 %c, label %header, label %done
+done:
+  ret void
+}
+""")
+        verify_function(f)
+        header = f.block_by_name("header")
+        phi = header.phis[0]
+        assert phi.incoming_for(header).name == "next"
+
+    def test_undefined_value_raises(self):
+        with pytest.raises((ParseError, ValueError)):
+            parse_function("""
+define void @bad() {
+entry:
+  %x = add i32 %ghost, 1
+  ret void
+}
+""")
+
+    def test_unknown_opcode_raises(self):
+        with pytest.raises(ParseError):
+            parse_function("""
+define void @bad() {
+entry:
+  %x = frobnicate i32 1, 2
+  ret void
+}
+""")
+
+    def test_negative_and_float_constants(self):
+        f = parse_function("""
+define void @consts(float %x) {
+entry:
+  %a = add i32 -5, 3
+  %b = fadd float %x, 2.5
+  ret void
+}
+""")
+        entry = f.entry
+        assert entry.instructions[0].operand(0).value == -5
+        assert entry.instructions[1].operand(1).value == 2.5
+
+
+class TestRoundTrip:
+    def test_module_round_trip_fixpoint(self):
+        m1 = parse_module(KERNEL_TEXT)
+        text1 = print_module(m1)
+        m2 = parse_module(text1)
+        assert print_module(m2) == text1
+
+    def test_builder_output_round_trips(self):
+        f = build_diamond()
+        text = print_function(f)
+        f2 = parse_function(text)
+        verify_function(f2)
+        assert print_function(f2) == text
+
+    def test_round_trip_preserves_block_order(self):
+        f = parse_function("""
+define void @order() {
+entry:
+  br label %later
+early:
+  ret void
+later:
+  br label %early
+}
+""")
+        assert [b.name for b in f.blocks] == ["entry", "early", "later"]
+
+    def test_select_with_undef_round_trips(self):
+        text = """
+define void @sel(i1 %c, i32 %a) {
+entry:
+  %x = select i1 %c, i32 %a, i32 undef
+  ret void
+}
+"""
+        f = parse_function(text)
+        printed = print_function(f)
+        assert "i32 undef" in printed
+        f2 = parse_function(printed)
+        assert print_function(f2) == printed

@@ -1,0 +1,46 @@
+"""Property test: printed IR of arbitrary (fuzz-generated, optimized,
+melded) kernels must re-parse to an equivalent, verifiable function, and
+re-printing must reach a fixpoint."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import run_cfm
+from repro.ir import Module, print_function, verify_function
+from repro.ir.parser import parse_function
+from repro.simt import run_kernel
+from repro.transforms import optimize
+
+import tests.integration.test_cfm_fuzzer as cfm_fuzz
+
+
+@given(spec=cfm_fuzz.kernel_specs(),
+       stage=st.sampled_from(["raw", "o3", "cfm"]))
+@settings(max_examples=40, deadline=None)
+def test_print_parse_fixpoint(spec, stage):
+    built = cfm_fuzz.build_fuzz_kernel(spec)
+    if stage in ("o3", "cfm"):
+        optimize(built.function)
+    if stage == "cfm":
+        run_cfm(built.function)
+    printed = print_function(built.function)
+    reparsed = parse_function(printed)
+    verify_function(reparsed)
+    assert print_function(reparsed) == printed
+
+
+@given(spec=cfm_fuzz.kernel_specs(), seed=st.integers(0, 2**16))
+@settings(max_examples=15, deadline=None)
+def test_reparsed_kernel_executes_identically(spec, seed):
+    values = [(seed * 2654435761 + i * 40503) % 199 - 99
+              for i in range(2 * cfm_fuzz.BLOCK)]
+    buffers = {"a": values[:cfm_fuzz.BLOCK], "b": values[cfm_fuzz.BLOCK:]}
+
+    built = cfm_fuzz.build_fuzz_kernel(spec)
+    optimize(built.function)
+    out1, _ = run_kernel(built.module, "fuzz", 1, cfm_fuzz.BLOCK,
+                         buffers={k: list(v) for k, v in buffers.items()})
+
+    reparsed = parse_function(print_function(built.function))
+    out2, _ = run_kernel(reparsed.module, reparsed.name, 1, cfm_fuzz.BLOCK,
+                         buffers={k: list(v) for k, v in buffers.items()})
+    assert out1 == out2

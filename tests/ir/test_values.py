@@ -1,0 +1,115 @@
+"""Tests for values, users, constants and use-list maintenance."""
+
+import pytest
+
+from repro.ir import (
+    BinaryOp,
+    Constant,
+    I1,
+    I32,
+    Opcode,
+    Select,
+    Undef,
+    const_bool,
+    const_int,
+)
+
+
+def add(a, b):
+    return BinaryOp(Opcode.ADD, a, b)
+
+
+class TestConstants:
+    def test_int_constant_value(self):
+        c = const_int(42, I32)
+        assert c.value == 42
+        assert c.type is I32
+
+    def test_int_constant_wraps_to_width(self):
+        c = const_int(2**31, I32)  # wraps to INT32_MIN
+        assert c.value == -(2**31)
+        assert const_int(-1, I32).value == -1
+        assert const_int(255, I32).value == 255
+
+    def test_i1_constants(self):
+        assert const_bool(True).value == 1
+        assert const_bool(False).value == 0
+
+    def test_constant_equality_by_type_and_value(self):
+        assert const_int(5, I32) == const_int(5, I32)
+        assert const_int(5, I32) != const_int(6, I32)
+        assert hash(const_int(5, I32)) == hash(const_int(5, I32))
+
+    def test_constant_rejects_bad_type(self):
+        from repro.ir import pointer
+
+        with pytest.raises(TypeError):
+            Constant(pointer(I32), 0)
+
+
+class TestUndef:
+    def test_undef_equality(self):
+        assert Undef(I32) == Undef(I32)
+        assert Undef(I32) != Undef(I1)
+        assert Undef(I32) != const_int(0, I32)
+
+    def test_undef_ref(self):
+        assert Undef(I32).ref() == "undef"
+
+
+class TestUseLists:
+    def test_use_registered_on_construction(self):
+        a, b = const_int(1, I32), const_int(2, I32)
+        instr = add(a, b)
+        assert (instr, 0) in a.uses
+        assert (instr, 1) in b.uses
+        assert a.num_uses == 1
+
+    def test_same_value_in_two_slots(self):
+        a = const_int(1, I32)
+        instr = add(a, a)
+        assert a.num_uses == 2
+        assert instr.operand(0) is a and instr.operand(1) is a
+
+    def test_set_operand_moves_use(self):
+        a, b, c = const_int(1, I32), const_int(2, I32), const_int(3, I32)
+        instr = add(a, b)
+        instr.set_operand(0, c)
+        assert a.num_uses == 0
+        assert (instr, 0) in c.uses
+
+    def test_replace_all_uses_with(self):
+        a, b, c = const_int(1, I32), const_int(2, I32), const_int(3, I32)
+        i1 = add(a, b)
+        i2 = add(a, a)
+        a.replace_all_uses_with(c)
+        assert a.num_uses == 0
+        assert i1.operand(0) is c
+        assert i2.operand(0) is c and i2.operand(1) is c
+
+    def test_replace_all_uses_with_self_is_noop(self):
+        a, b = const_int(1, I32), const_int(2, I32)
+        instr = add(a, b)
+        a.replace_all_uses_with(a)
+        assert (instr, 0) in a.uses
+
+    def test_drop_all_operands(self):
+        a, b = const_int(1, I32), const_int(2, I32)
+        instr = add(a, b)
+        instr.drop_all_operands()
+        assert a.num_uses == 0 and b.num_uses == 0
+        assert instr.num_operands == 0
+
+    def test_users_deduplicated(self):
+        a = const_int(1, I32)
+        instr = add(a, a)
+        assert instr in a.users
+        assert len(a.users) == 1
+
+    def test_chained_rauw_through_select(self):
+        cond = const_bool(True)
+        a, b, c = const_int(1, I32), const_int(2, I32), const_int(3, I32)
+        sel = Select(cond, a, b)
+        a.replace_all_uses_with(c)
+        assert sel.true_value is c
+        assert sel.false_value is b

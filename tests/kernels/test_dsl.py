@@ -1,0 +1,153 @@
+"""Tests for the structured kernel-construction DSL."""
+
+import pytest
+
+from repro.ir import I32, ICmpPredicate, Phi, verify_function
+from repro.kernels.dsl import GLOBAL_I32_PTR, KernelBuilder
+from repro.simt import run_kernel
+
+
+class TestBasics:
+    def test_finish_verifies(self):
+        k = KernelBuilder("k", params=[("p", GLOBAL_I32_PTR)])
+        tid = k.thread_id()
+        k.store_at(k.param("p"), tid, tid)
+        f = k.finish()
+        verify_function(f)
+        assert f.name == "k"
+
+    def test_double_finish_rejected(self):
+        k = KernelBuilder("k")
+        k.finish()
+        with pytest.raises(RuntimeError):
+            k.finish()
+
+    def test_shared_array_registered(self):
+        k = KernelBuilder("k")
+        shared = k.shared_array("buf", I32, 64)
+        assert k.module.globals["buf"] is shared
+        assert shared.is_shared
+
+    def test_param_lookup(self):
+        k = KernelBuilder("k", params=[("x", I32)])
+        assert k.param("x") is k.function.args[0]
+        with pytest.raises(KeyError):
+            k.param("nope")
+
+
+class TestIfElse:
+    def test_if_generates_phi_for_assigned_var(self):
+        k = KernelBuilder("k", params=[("p", GLOBAL_I32_PTR)])
+        tid = k.thread_id()
+        c = k.icmp(ICmpPredicate.SLT, tid, k.const(4))
+        v = k.var("v", k.const(0))
+        k.if_(c, lambda: k.set(v, k.const(1)), lambda: k.set(v, k.const(2)))
+        assert isinstance(v.value, Phi)
+        k.store_at(k.param("p"), tid, v.value)
+        f = k.finish()
+        out, _ = run_kernel(k.module, "k", 1, 8, buffers={"p": [0] * 8})
+        assert out["p"] == [1] * 4 + [2] * 4
+
+    def test_if_without_else(self):
+        k = KernelBuilder("k", params=[("p", GLOBAL_I32_PTR)])
+        tid = k.thread_id()
+        c = k.icmp(ICmpPredicate.SLT, tid, k.const(2))
+        v = k.var("v", k.const(10))
+        k.if_(c, lambda: k.set(v, k.const(20)))
+        k.store_at(k.param("p"), tid, v.value)
+        k.finish()
+        out, _ = run_kernel(k.module, "k", 1, 4, buffers={"p": [0] * 4})
+        assert out["p"] == [20, 20, 10, 10]
+
+    def test_unassigned_var_needs_no_phi(self):
+        k = KernelBuilder("k", params=[("p", GLOBAL_I32_PTR)])
+        tid = k.thread_id()
+        c = k.icmp(ICmpPredicate.SLT, tid, k.const(2))
+        v = k.var("v", k.const(5))
+        k.if_(c, lambda: None, lambda: None)
+        assert not isinstance(v.value, Phi)
+        k.finish()
+
+
+class TestLoops:
+    def test_while_counts(self):
+        k = KernelBuilder("k", params=[("p", GLOBAL_I32_PTR)])
+        tid = k.thread_id()
+        i = k.var("i", k.const(0))
+        total = k.var("total", k.const(0))
+
+        def cond():
+            return k.icmp(ICmpPredicate.SLT, i.value, k.const(5))
+
+        def body():
+            k.set(total, k.add(total.value, i.value))
+            k.set(i, k.add(i.value, k.const(1)))
+
+        k.while_(cond, body)
+        k.store_at(k.param("p"), tid, total.value)
+        k.finish()
+        out, _ = run_kernel(k.module, "k", 1, 2, buffers={"p": [0, 0]})
+        assert out["p"] == [10, 10]  # 0+1+2+3+4
+
+    def test_for_range(self):
+        k = KernelBuilder("k", params=[("p", GLOBAL_I32_PTR)])
+        tid = k.thread_id()
+        acc = k.var("acc", k.const(0))
+        k.for_range("i", k.const(0), k.const(4),
+                    lambda iv: k.set(acc, k.add(acc.value, iv)))
+        k.store_at(k.param("p"), tid, acc.value)
+        k.finish()
+        out, _ = run_kernel(k.module, "k", 1, 1, buffers={"p": [0]})
+        assert out["p"] == [6]
+
+    def test_nested_loops_with_divergence(self):
+        k = KernelBuilder("k", params=[("p", GLOBAL_I32_PTR)])
+        tid = k.thread_id()
+        acc = k.var("acc", k.const(0))
+
+        def outer(i):
+            def inner(j):
+                c = k.icmp(ICmpPredicate.EQ, k.and_(tid, k.const(1)), k.const(0))
+                k.if_(c,
+                      lambda: k.set(acc, k.add(acc.value, i)),
+                      lambda: k.set(acc, k.add(acc.value, j)))
+            k.for_range("j", k.const(0), k.const(2), inner)
+
+        k.for_range("i", k.const(0), k.const(3), outer)
+        k.store_at(k.param("p"), tid, acc.value)
+        f = k.finish()
+        verify_function(f)
+        out, _ = run_kernel(k.module, "k", 1, 2, buffers={"p": [0, 0]})
+        # even tid: sum of i over 6 iterations = (0+0+1+1+2+2) = 6
+        # odd tid: sum of j over 6 iterations = (0+1)*3 = 3
+        assert out["p"] == [6, 3]
+
+    def test_loop_trivial_phi_folded(self):
+        k = KernelBuilder("k", params=[("p", GLOBAL_I32_PTR)])
+        tid = k.thread_id()
+        fixed = k.var("fixed", k.const(42))  # never reassigned
+        i = k.var("i", k.const(0))
+        k.while_(lambda: k.icmp(ICmpPredicate.SLT, i.value, k.const(3)),
+                 lambda: k.set(i, k.add(i.value, k.const(1))))
+        assert not isinstance(fixed.value, Phi)
+        k.store_at(k.param("p"), tid, fixed.value)
+        k.finish()
+
+
+class TestHelpers:
+    def test_global_thread_id(self):
+        k = KernelBuilder("k", params=[("p", GLOBAL_I32_PTR)])
+        gid = k.global_thread_id()
+        k.store_at(k.param("p"), gid, gid)
+        k.finish()
+        out, _ = run_kernel(k.module, "k", 2, 4, buffers={"p": [0] * 8})
+        assert out["p"] == list(range(8))
+
+    def test_load_store_at(self):
+        k = KernelBuilder("k", params=[("p", GLOBAL_I32_PTR)])
+        tid = k.thread_id()
+        v = k.load_at(k.param("p"), tid)
+        k.store_at(k.param("p"), tid, k.mul(v, k.const(2)))
+        k.finish()
+        out, _ = run_kernel(k.module, "k", 1, 4, buffers={"p": [1, 2, 3, 4]})
+        assert out["p"] == [2, 4, 6, 8]

@@ -1,0 +1,170 @@
+"""Correctness tests for every benchmark kernel, unoptimized and at -O3."""
+
+import pytest
+
+from repro.evaluation.runner import execute
+from repro.ir import verify_function
+from repro.kernels import ALL_BUILDERS, REAL_WORLD_BUILDERS, SYNTHETIC_BUILDERS
+from repro.kernels.patterns import PATTERN_BUILDERS
+from repro.transforms import optimize
+
+
+ALL = {**ALL_BUILDERS, **PATTERN_BUILDERS}
+
+
+@pytest.mark.parametrize("name", sorted(ALL))
+def test_kernel_reference_unoptimized(name):
+    """Every kernel matches its Python reference without optimization."""
+    case = ALL[name](block_size=16, grid_dim=2)
+    verify_function(case.function)
+    execute(case, seed=11)
+
+
+@pytest.mark.parametrize("name", sorted(ALL))
+def test_kernel_reference_after_o3(name):
+    """The -O3 pipeline must preserve semantics for every kernel."""
+    case = ALL[name](block_size=16, grid_dim=2)
+    optimize(case.function)
+    verify_function(case.function)
+    execute(case, seed=23)
+
+
+@pytest.mark.parametrize("name", sorted(SYNTHETIC_BUILDERS))
+def test_synthetic_kernels_have_divergence(name):
+    from repro.analysis import compute_divergence
+
+    case = SYNTHETIC_BUILDERS[name](block_size=16, grid_dim=1)
+    optimize(case.function)
+    info = compute_divergence(case.function)
+    assert info.divergent_branch_blocks, f"{name} should be divergent"
+
+
+class TestBitonicProperties:
+    def test_sorts_multiple_buckets_independently(self):
+        from repro.kernels import build_bitonic
+
+        case = build_bitonic(block_size=32, grid_dim=3)
+        run = execute(case, seed=5)
+        values = run.outputs["values"]
+        for block in range(3):
+            bucket = values[block * 32:(block + 1) * 32]
+            assert bucket == sorted(bucket)
+
+    def test_block_size_parametric(self):
+        from repro.kernels import build_bitonic
+
+        for size in (8, 16, 64):
+            case = build_bitonic(block_size=size, grid_dim=1)
+            execute(case, seed=size)
+
+
+class TestLUDDivergenceShape:
+    """LUD's divergence must be block-size dependent (§VI-A)."""
+
+    @staticmethod
+    def measure(block_size):
+        from repro.kernels import build_lud
+
+        case = build_lud(block_size=block_size, grid_dim=1)
+        optimize(case.function)
+        run = execute(case, seed=3)
+        return run.metrics.divergent_branches
+
+    def test_divergent_at_small_blocks(self):
+        assert self.measure(16) > 0
+        assert self.measure(32) > 0
+        assert self.measure(64) > 0
+
+    def test_convergent_at_large_blocks(self):
+        assert self.measure(128) == 0
+        assert self.measure(256) == 0
+
+
+class TestMergesortEdgeCases:
+    def test_sorted_input(self):
+        from repro.kernels import build_mergesort
+
+        case = build_mergesort(block_size=16, grid_dim=1)
+        inputs = {"values": list(range(16))}
+        from repro.simt import run_kernel
+
+        out, _ = run_kernel(case.module, case.kernel, 1, 16,
+                            buffers={"values": list(inputs["values"])})
+        assert out["values"] == list(range(16))
+
+    def test_reverse_sorted_input(self):
+        from repro.kernels import build_mergesort
+
+        case = build_mergesort(block_size=16, grid_dim=1)
+        from repro.simt import run_kernel
+
+        out, _ = run_kernel(case.module, case.kernel, 1, 16,
+                            buffers={"values": list(range(16, 0, -1))})
+        assert out["values"] == sorted(range(16, 0, -1))
+
+    def test_all_equal_input(self):
+        from repro.kernels import build_mergesort
+
+        case = build_mergesort(block_size=16, grid_dim=1)
+        from repro.simt import run_kernel
+
+        out, _ = run_kernel(case.module, case.kernel, 1, 16,
+                            buffers={"values": [7] * 16})
+        assert out["values"] == [7] * 16
+
+
+class TestDCTEdgeCases:
+    def test_zero_plane(self):
+        from repro.kernels import build_dct
+        from repro.simt import run_kernel
+
+        case = build_dct(block_size=16, grid_dim=1)
+        quant = [3] * 64
+        out, _ = run_kernel(case.module, case.kernel, 1, 16,
+                            buffers={"plane": [0] * 16, "quant": quant})
+        # round(0) in any quantizer remains 0... (0 + 1)//3*3 == 0
+        assert out["plane"] == [0] * 16
+
+    def test_negative_values_quantize_symmetrically(self):
+        from repro.kernels import build_dct
+        from repro.simt import run_kernel
+
+        case = build_dct(block_size=4, grid_dim=1)
+        quant = [4] * 64
+        out, _ = run_kernel(case.module, case.kernel, 1, 4,
+                            buffers={"plane": [10, -10, 7, -7],
+                                     "quant": quant})
+        assert out["plane"][0] == -out["plane"][1]
+        assert out["plane"][2] == -out["plane"][3]
+
+
+class TestFloatDCT:
+    """The f32 extension kernel: exercises fcmp/fadd/fdiv/casts through
+    the entire pipeline (simulator, O3, CFM)."""
+
+    def test_reference_unoptimized(self):
+        from repro.kernels import build_dct_float
+
+        case = build_dct_float(block_size=16, grid_dim=2)
+        execute(case, seed=31)
+
+    def test_cfm_melds_float_arms(self):
+        from repro.evaluation.runner import compile_cfm
+        from repro.kernels import build_dct_float
+
+        case = build_dct_float(block_size=16, grid_dim=2)
+        result = compile_cfm(case)
+        assert result.cfm_stats.melds
+        execute(case, seed=31)
+
+    def test_cfm_differential_on_floats(self):
+        from repro.evaluation.runner import compile_baseline, compile_cfm
+        from repro.kernels import build_dct_float
+
+        base = build_dct_float(block_size=16, grid_dim=2)
+        compile_baseline(base)
+        melded = build_dct_float(block_size=16, grid_dim=2)
+        compile_cfm(melded)
+        b = execute(base, seed=8)
+        c = execute(melded, seed=8)
+        assert b.outputs == c.outputs

@@ -1,0 +1,60 @@
+"""Smoke tests: every example script must run end to end.
+
+Examples are the quickstart surface of the repository; breaking one is a
+documentation bug as much as a code bug.
+"""
+
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = "examples"
+
+
+def run_example(monkeypatch, capsys, name, argv):
+    monkeypatch.setattr(sys, "argv", [name] + argv)
+    runpy.run_path(f"{EXAMPLES}/{name}", run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_quickstart(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "quickstart.py", [])
+    assert "melds performed: 1" in out
+    assert "outputs identical: True" in out
+
+
+def test_bitonic_sort(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "bitonic_sort.py", ["16"])
+    assert "CFM melded" in out
+    assert "speedup" in out
+
+
+def test_divergence_analysis(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "divergence_analysis.py", [])
+    assert "divergent branches:" in out
+    assert "most profitable pair" in out
+    assert "FP_S" in out
+
+
+def test_block_size_sweep(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "block_size_sweep.py",
+                      ["SB1", "16", "32"])
+    assert "geomean speedup" in out
+
+
+def test_divergence_profile(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "divergence_profile.py",
+                      ["SB2", "16"])
+    assert "divergent branch issues" in out
+    assert "rate" in out
+
+
+def test_visualize_melding(monkeypatch, capsys, tmp_path):
+    out = run_example(monkeypatch, capsys, "visualize_melding.py",
+                      ["SB1", str(tmp_path)])
+    assert "melds" in out
+    assert (tmp_path / "SB1_before.dot").exists()
+    assert (tmp_path / "SB1_after.dot").exists()
+    dot = (tmp_path / "SB1_after.dot").read_text()
+    assert dot.startswith("digraph")

@@ -1,0 +1,104 @@
+"""Unit tests for CFG subgraph cloning (the unroller's workhorse)."""
+
+import pytest
+
+from repro.ir import Branch, Phi, verify_function
+from repro.transforms import clone_blocks
+
+from tests.support import parse
+
+
+def setup_diamond():
+    f = parse("""
+define void @k(i1 %c, i32 %x, i32 addrspace(1)* %p) {
+entry:
+  %base = add i32 %x, 100
+  br label %top
+top:
+  br i1 %c, label %l, label %r
+l:
+  %lv = add i32 %base, 1
+  br label %join
+r:
+  %rv = add i32 %base, 2
+  br label %join
+join:
+  %m = phi i32 [ %lv, %l ], [ %rv, %r ]
+  %g = getelementptr i32, i32 addrspace(1)* %p, i32 %m
+  store i32 %m, i32 addrspace(1)* %g
+  br label %out
+out:
+  ret void
+}
+""")
+    names = ["top", "l", "r", "join"]
+    return f, [f.block_by_name(n) for n in names]
+
+
+class TestCloneBlocks:
+    def test_blocks_and_instructions_duplicated(self):
+        f, blocks = setup_diamond()
+        before = len(f.blocks)
+        cloned = clone_blocks(f, blocks, "c1")
+        assert len(f.blocks) == before + len(blocks)
+        for block in blocks:
+            twin = cloned.block(block)
+            assert twin is not block
+            assert len(twin) == len(block)
+
+    def test_internal_edges_redirected(self):
+        f, blocks = setup_diamond()
+        cloned = clone_blocks(f, blocks, "c1")
+        top_clone = cloned.block(blocks[0])
+        term = top_clone.terminator
+        assert term.true_successor is cloned.block(blocks[1])
+        assert term.false_successor is cloned.block(blocks[2])
+
+    def test_external_edges_preserved(self):
+        f, blocks = setup_diamond()
+        cloned = clone_blocks(f, blocks, "c1")
+        join_clone = cloned.block(blocks[3])
+        # join's successor %out is outside the cloned set: unchanged.
+        assert join_clone.terminator.true_successor is f.block_by_name("out")
+
+    def test_operands_remapped_internally(self):
+        f, blocks = setup_diamond()
+        cloned = clone_blocks(f, blocks, "c1")
+        join_clone = cloned.block(blocks[3])
+        phi = join_clone.phis[0]
+        l_clone = cloned.block(blocks[1])
+        lv_clone = l_clone.instructions[0]
+        assert phi.incoming_for(l_clone) is lv_clone
+
+    def test_external_operands_shared(self):
+        f, blocks = setup_diamond()
+        base = f.block_by_name("entry").instructions[0]
+        cloned = clone_blocks(f, blocks, "c1")
+        lv_clone = cloned.block(blocks[1]).instructions[0]
+        assert lv_clone.operand(0) is base  # %base defined outside the set
+
+    def test_extra_value_map_seeds_remapping(self):
+        f, blocks = setup_diamond()
+        base = f.block_by_name("entry").instructions[0]
+        replacement = f.args[1]  # %x
+        cloned = clone_blocks(f, blocks, "c1",
+                              extra_value_map={base: replacement})
+        lv_clone = cloned.block(blocks[1]).instructions[0]
+        assert lv_clone.operand(0) is replacement
+
+    def test_phi_incoming_from_outside_dropped(self):
+        f, blocks = setup_diamond()
+        # Clone only {l, r, join}: join's phi has both preds inside, but
+        # clone top out and the phi preds come from the cloned set only.
+        subset = blocks[1:]  # l, r, join
+        cloned = clone_blocks(f, subset, "c2")
+        phi = cloned.block(blocks[3]).phis[0]
+        assert len(phi.incoming) == 2
+        assert all(p in {cloned.block(blocks[1]), cloned.block(blocks[2])}
+                   for p in phi.incoming_blocks)
+
+    def test_value_map_identity_for_outsiders(self):
+        f, blocks = setup_diamond()
+        cloned = clone_blocks(f, blocks, "c1")
+        outsider = f.args[0]
+        assert cloned.value(outsider) is outsider

@@ -1,0 +1,81 @@
+"""Tests for the pass pipeline infrastructure."""
+
+import pytest
+
+from repro.transforms import PassPipeline, eliminate_dead_code, fold_constants
+
+from tests.support import parse
+
+
+def make_function():
+    return parse("""
+define void @k(i32 addrspace(1)* %p) {
+entry:
+  %a = add i32 2, 3
+  %dead = mul i32 %a, 7
+  %g = getelementptr i32, i32 addrspace(1)* %p, i32 0
+  store i32 %a, i32 addrspace(1)* %g
+  ret void
+}
+""")
+
+
+class TestPipeline:
+    def test_runs_passes_in_order(self):
+        f = make_function()
+        pipeline = PassPipeline()
+        order = []
+        pipeline.add("first", lambda fn: order.append("first") or False)
+        pipeline.add("second", lambda fn: order.append("second") or False)
+        pipeline.run(f)
+        assert order == ["first", "second"]
+
+    def test_reports_changes(self):
+        f = make_function()
+        pipeline = PassPipeline()
+        pipeline.add("fold", fold_constants)
+        pipeline.add("dce", eliminate_dead_code)
+        assert pipeline.run(f)
+        assert not pipeline.run(f)  # second run: nothing left to do
+
+    def test_records_timings(self):
+        f = make_function()
+        pipeline = PassPipeline()
+        pipeline.add("fold", fold_constants)
+        pipeline.run(f)
+        assert len(pipeline.timings) == 1
+        timing = pipeline.timings[0]
+        assert timing.name == "fold"
+        assert timing.seconds >= 0
+        assert timing.changed
+        assert pipeline.total_seconds >= timing.seconds
+
+    def test_run_to_fixpoint(self):
+        f = make_function()
+        pipeline = PassPipeline()
+        pipeline.add("fold", fold_constants)
+        pipeline.add("dce", eliminate_dead_code)
+        assert pipeline.run_to_fixpoint(f)
+        # Fixpoint reached: constants folded, dead mul gone.
+        assert len(f.entry) == 3  # gep, store, ret
+
+    def test_fixpoint_divergence_detected(self):
+        f = make_function()
+        pipeline = PassPipeline()
+        pipeline.add("always-changes", lambda fn: True)
+        with pytest.raises(RuntimeError, match="fixpoint"):
+            pipeline.run_to_fixpoint(f, max_iterations=4)
+
+    def test_verify_mode_catches_broken_pass(self):
+        f = make_function()
+
+        def breaker(fn):
+            # Remove the terminator: structurally invalid.
+            term = fn.entry.terminator
+            fn.entry._instructions.remove(term)
+            return True
+
+        pipeline = PassPipeline(verify=True)
+        pipeline.add("breaker", breaker)
+        with pytest.raises(RuntimeError, match="verification failed after"):
+            pipeline.run(f)

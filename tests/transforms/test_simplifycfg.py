@@ -1,0 +1,274 @@
+"""Tests for the SimplifyCFG cleanup bundle."""
+
+import pytest
+
+from repro.ir import Branch, IRBuilder, Phi, I32, const_bool, verify_function
+from repro.transforms import (
+    fold_redundant_branches,
+    merge_straightline_blocks,
+    remove_forwarding_blocks,
+    remove_trivial_phis,
+    remove_unreachable_blocks,
+    simplify_cfg,
+)
+
+from tests.support import parse, straightline_function
+
+
+class TestUnreachable:
+    def test_removes_dead_block(self):
+        f = parse("""
+define void @k() {
+entry:
+  ret void
+dead:
+  %x = add i32 1, 2
+  ret void
+}
+""")
+        assert remove_unreachable_blocks(f)
+        assert [b.name for b in f.blocks] == ["entry"]
+        verify_function(f)
+
+    def test_removes_dead_loop_with_phi_cycle(self):
+        f = parse("""
+define void @k() {
+entry:
+  ret void
+deadh:
+  %i = phi i32 [ %ni, %deadl ]
+  br label %deadl
+deadl:
+  %ni = add i32 %i, 1
+  br label %deadh
+}
+""")
+        assert remove_unreachable_blocks(f)
+        assert len(f.blocks) == 1
+        verify_function(f)
+
+    def test_fixes_phis_referencing_dead_preds(self):
+        f = parse("""
+define void @k(i1 %c) {
+entry:
+  br label %m
+dead:
+  br label %m
+m:
+  %p = phi i32 [ 1, %entry ], [ 2, %dead ]
+  ret void
+}
+""")
+        remove_unreachable_blocks(f)
+        phi = f.block_by_name("m").phis[0]
+        assert len(phi.incoming) == 1
+        verify_function(f)
+
+    def test_noop_when_all_reachable(self):
+        f = straightline_function(3)
+        assert not remove_unreachable_blocks(f)
+
+
+class TestFoldBranches:
+    def test_identical_successors_folded(self):
+        f = parse("""
+define void @k(i1 %c) {
+entry:
+  br i1 %c, label %next, label %next
+next:
+  ret void
+}
+""")
+        assert fold_redundant_branches(f)
+        assert not f.entry.terminator.is_conditional
+        verify_function(f)
+
+
+class TestTrivialPhis:
+    def test_same_value_phi_removed(self):
+        f = parse("""
+define void @k(i1 %c, i32 %v) {
+entry:
+  br i1 %c, label %a, label %b
+a:
+  br label %m
+b:
+  br label %m
+m:
+  %p = phi i32 [ %v, %a ], [ %v, %b ]
+  %use = add i32 %p, 1
+  ret void
+}
+""")
+        assert remove_trivial_phis(f)
+        m = f.block_by_name("m")
+        assert not m.phis
+        assert m.instructions[0].operand(0) is f.args[1]
+        verify_function(f)
+
+    def test_self_referencing_phi_folded(self):
+        f = parse("""
+define void @k(i32 %v) {
+entry:
+  br label %h
+h:
+  %p = phi i32 [ %v, %entry ], [ %p, %h ]
+  %c = icmp slt i32 %p, 10
+  br i1 %c, label %h, label %x
+x:
+  ret void
+}
+""")
+        assert remove_trivial_phis(f)
+        verify_function(f)
+
+    def test_real_phi_kept(self):
+        f = parse("""
+define void @k(i1 %c) {
+entry:
+  br i1 %c, label %a, label %b
+a:
+  br label %m
+b:
+  br label %m
+m:
+  %p = phi i32 [ 1, %a ], [ 2, %b ]
+  ret void
+}
+""")
+        assert not remove_trivial_phis(f)
+
+
+class TestMergeBlocks:
+    def test_straightline_collapses_to_one_block(self):
+        f = straightline_function(4)
+        simplify_cfg(f)
+        assert len(f.blocks) == 1
+        verify_function(f)
+
+    def test_merge_preserves_order_and_edges(self):
+        f = parse("""
+define void @k(i1 %c) {
+entry:
+  %x = add i32 1, 2
+  br label %mid
+mid:
+  %y = add i32 %x, 3
+  br i1 %c, label %a, label %b
+a:
+  ret void
+b:
+  ret void
+}
+""")
+        assert merge_straightline_blocks(f)
+        verify_function(f)
+        entry = f.entry
+        assert [i.opcode for i in entry] == ["add", "add", "br"]
+        assert len(entry.succs) == 2
+
+    def test_merge_updates_downstream_phis(self):
+        f = parse("""
+define void @k(i1 %c) {
+entry:
+  br i1 %c, label %x, label %m
+x:
+  br label %mid
+mid:
+  %v = add i32 1, 2
+  br label %m
+m:
+  %p = phi i32 [ 0, %entry ], [ %v, %mid ]
+  ret void
+}
+""")
+        assert merge_straightline_blocks(f)
+        verify_function(f)
+
+    def test_no_merge_when_multiple_preds(self):
+        f = parse("""
+define void @k(i1 %c) {
+entry:
+  br i1 %c, label %a, label %m
+a:
+  br label %m
+m:
+  ret void
+}
+""")
+        assert not merge_straightline_blocks(f)
+
+
+class TestForwardingBlocks:
+    def test_forwarder_removed(self):
+        f = parse("""
+define void @k(i1 %c) {
+entry:
+  br i1 %c, label %fwd, label %m
+fwd:
+  br label %m
+m:
+  ret void
+}
+""")
+        assert remove_forwarding_blocks(f)
+        verify_function(f)
+        assert len(f.blocks) == 2
+
+    def test_forwarder_with_phi_value_moved(self):
+        f = parse("""
+define void @k(i1 %c) {
+entry:
+  br i1 %c, label %fwd, label %m
+fwd:
+  br label %m
+m:
+  %p = phi i32 [ 1, %fwd ], [ 2, %entry ]
+  ret void
+}
+""")
+        # Removing %fwd creates a duplicate-edge conditional from entry;
+        # the phi values differ (1 via fwd, 2 direct), so removal must be
+        # refused.
+        assert not remove_forwarding_blocks(f)
+        verify_function(f)
+
+    def test_forwarder_with_equal_phi_values_removed(self):
+        f = parse("""
+define void @k(i1 %c, i32 %v) {
+entry:
+  br i1 %c, label %fwd, label %m
+fwd:
+  br label %m
+m:
+  %p = phi i32 [ %v, %fwd ], [ %v, %entry ]
+  ret void
+}
+""")
+        assert remove_forwarding_blocks(f)
+        verify_function(f)
+
+
+class TestFixpoint:
+    def test_diamond_with_constant_condition_collapses(self):
+        f = parse("""
+define void @k() {
+entry:
+  br i1 1, label %a, label %b
+a:
+  %x = add i32 1, 2
+  br label %m
+b:
+  %y = add i32 3, 4
+  br label %m
+m:
+  %p = phi i32 [ %x, %a ], [ %y, %b ]
+  ret void
+}
+""")
+        from repro.transforms import fold_constants
+
+        fold_constants(f)
+        simplify_cfg(f)
+        verify_function(f)
+        assert len(f.blocks) == 1

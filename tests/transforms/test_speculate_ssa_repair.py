@@ -1,0 +1,211 @@
+"""Tests for if-conversion (speculation) and SSA dominance repair."""
+
+import pytest
+
+from repro.ir import Select, Undef, VerificationError, verify_function
+from repro.transforms import repair_ssa, speculate_hammocks
+
+from tests.support import parse
+
+
+class TestSpeculate:
+    def test_pure_diamond_flattens_to_select(self):
+        f = parse("""
+define void @k(i1 %c, i32 %x, i32 addrspace(1)* %p) {
+entry:
+  br i1 %c, label %a, label %b
+a:
+  %t = add i32 %x, 1
+  br label %m
+b:
+  %e = mul i32 %x, 2
+  br label %m
+m:
+  %r = phi i32 [ %t, %a ], [ %e, %b ]
+  %g = getelementptr i32, i32 addrspace(1)* %p, i32 0
+  store i32 %r, i32 addrspace(1)* %g
+  ret void
+}
+""")
+        assert speculate_hammocks(f)
+        verify_function(f)
+        # The arms are gone; merging entry with m is SimplifyCFG's job.
+        assert len(f.blocks) == 2
+        assert any(isinstance(i, Select) for i in f.entry)
+        from repro.transforms import simplify_cfg
+
+        simplify_cfg(f)
+        assert len(f.blocks) == 1
+
+    def test_triangle_flattens(self):
+        f = parse("""
+define void @k(i1 %c, i32 %x, i32 addrspace(1)* %p) {
+entry:
+  br i1 %c, label %a, label %m
+a:
+  %t = add i32 %x, 1
+  br label %m
+m:
+  %r = phi i32 [ %t, %a ], [ %x, %entry ]
+  %g = getelementptr i32, i32 addrspace(1)* %p, i32 0
+  store i32 %r, i32 addrspace(1)* %g
+  ret void
+}
+""")
+        assert speculate_hammocks(f)
+        verify_function(f)
+        assert any(isinstance(i, Select) for i in f.entry)
+
+    def test_arm_with_store_not_speculated(self):
+        f = parse("""
+define void @k(i1 %c, i32 addrspace(1)* %p) {
+entry:
+  br i1 %c, label %a, label %b
+a:
+  store i32 1, i32 addrspace(1)* %p
+  br label %m
+b:
+  br label %m
+m:
+  ret void
+}
+""")
+        assert not speculate_hammocks(f)
+
+    def test_arm_with_division_not_speculated(self):
+        f = parse("""
+define void @k(i1 %c, i32 %x, i32 %y) {
+entry:
+  br i1 %c, label %a, label %m
+a:
+  %d = sdiv i32 %x, %y
+  br label %m
+m:
+  %r = phi i32 [ %d, %a ], [ 0, %entry ]
+  ret void
+}
+""")
+        assert not speculate_hammocks(f)
+
+    def test_large_arm_not_speculated(self):
+        lines = "\n".join(f"  %v{i} = add i32 %x, {i}" for i in range(20))
+        f = parse(f"""
+define void @k(i1 %c, i32 %x) {{
+entry:
+  br i1 %c, label %a, label %m
+a:
+{lines}
+  br label %m
+m:
+  %r = phi i32 [ %v19, %a ], [ 0, %entry ]
+  ret void
+}}
+""")
+        assert not speculate_hammocks(f)
+
+    def test_merge_with_extra_pred_keeps_phi(self):
+        f = parse("""
+define void @k(i1 %c, i1 %d, i32 %x) {
+entry:
+  br i1 %d, label %head, label %m
+head:
+  br i1 %c, label %a, label %b
+a:
+  %t = add i32 %x, 1
+  br label %m
+b:
+  %e = mul i32 %x, 2
+  br label %m
+m:
+  %r = phi i32 [ %t, %a ], [ %e, %b ], [ 0, %entry ]
+  %u = add i32 %r, 1
+  ret void
+}
+""")
+        assert speculate_hammocks(f)
+        verify_function(f)
+        # First the inner diamond flattens (phi keeps entry + head edges);
+        # then the remaining pure triangle flattens too, chaining selects.
+        m = f.block_by_name("m")
+        assert not m.phis
+        selects = [i for i in f.instructions() if isinstance(i, Select)]
+        assert len(selects) == 2
+
+
+class TestSSARepair:
+    def make_broken(self):
+        """A def in %a used in %m, but control can bypass %a — the melding
+        situation of the paper's Figure 4."""
+        f = parse("""
+define void @k(i1 %c, i32 %x, i32 addrspace(1)* %p) {
+entry:
+  br i1 %c, label %a, label %m
+a:
+  %v = add i32 %x, 1
+  br label %m
+m:
+  %g = getelementptr i32, i32 addrspace(1)* %p, i32 0
+  store i32 %x, i32 addrspace(1)* %g
+  ret void
+}
+""")
+        # Break SSA: make the store use %v.
+        a = f.block_by_name("a")
+        v = a.instructions[0]
+        store = [i for i in f.block_by_name("m") if i.opcode == "store"][0]
+        store.set_operand(0, v)
+        return f, v, store
+
+    def test_detects_and_fixes_violation(self):
+        f, v, store = self.make_broken()
+        with pytest.raises(VerificationError):
+            verify_function(f)
+        assert repair_ssa(f)
+        verify_function(f)
+
+    def test_inserts_phi_with_undef_bypass(self):
+        f, v, store = self.make_broken()
+        repair_ssa(f)
+        m = f.block_by_name("m")
+        phi = m.phis[0]
+        assert phi.incoming_for(f.block_by_name("a")) is v
+        bypass = phi.incoming_for(f.entry)
+        assert isinstance(bypass, Undef)
+        assert store.value is phi
+
+    def test_noop_on_valid_ssa(self):
+        f = parse("""
+define void @k(i32 %x) {
+entry:
+  %v = add i32 %x, 1
+  %w = add i32 %v, 2
+  ret void
+}
+""")
+        assert not repair_ssa(f)
+
+    def test_repair_through_loop(self):
+        f = parse("""
+define void @k(i1 %c, i32 %x, i32 addrspace(1)* %p) {
+entry:
+  br i1 %c, label %a, label %h
+a:
+  %v = add i32 %x, 1
+  br label %h
+h:
+  %i = phi i32 [ 0, %entry ], [ %ni, %h ], [ 0, %a ]
+  %ni = add i32 %i, 1
+  %cc = icmp slt i32 %ni, 3
+  br i1 %cc, label %h, label %m
+m:
+  %g = getelementptr i32, i32 addrspace(1)* %p, i32 0
+  store i32 %x, i32 addrspace(1)* %g
+  ret void
+}
+""")
+        a = f.block_by_name("a")
+        v = a.instructions[0]
+        store = [i for i in f.block_by_name("m") if i.opcode == "store"][0]
+        store.set_operand(0, v)
+        repair_ssa(f)
+        verify_function(f)
