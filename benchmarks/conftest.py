@@ -3,18 +3,29 @@
 Sweeps are expensive (every kernel × block size is compiled twice and
 simulated twice), so they are computed once per session and shared by the
 figure benchmarks that need them.
+
+Set ``REPRO_SWEEP_WORKERS=N`` to fan the session sweeps across N worker
+processes (rows are deterministic — identical to the serial run; see
+``docs/evaluation.md``).  ``REPRO_SWEEP_TIMEOUT`` optionally bounds each
+configuration's wall-clock seconds when running parallel.
 """
+
+import os
 
 import pytest
 
 from repro.evaluation import figure7, figure8
 
+SWEEP_WORKERS = int(os.environ.get("REPRO_SWEEP_WORKERS", "1"))
+SWEEP_TIMEOUT = (float(os.environ["REPRO_SWEEP_TIMEOUT"])
+                 if "REPRO_SWEEP_TIMEOUT" in os.environ else None)
+
 
 @pytest.fixture(scope="session")
 def fig7_data():
-    return figure7()
+    return figure7(workers=SWEEP_WORKERS, timeout=SWEEP_TIMEOUT)
 
 
 @pytest.fixture(scope="session")
 def fig8_data():
-    return figure8()
+    return figure8(workers=SWEEP_WORKERS, timeout=SWEEP_TIMEOUT)

@@ -2,6 +2,7 @@
 
 from .runner import (
     Comparison,
+    CompileCache,
     CompileResult,
     RunResult,
     compare,
@@ -9,6 +10,20 @@ from .runner import (
     compile_cfm,
     execute,
     geomean,
+)
+from .parallel import (
+    ParallelRunner,
+    SweepError,
+    SweepTask,
+    TaskResult,
+    run_task,
+    run_tasks,
+)
+from .trace import (
+    SWEEP_TRACE_SCHEMA,
+    SweepTraceCollector,
+    pass_trace_events,
+    write_pass_trace_jsonl,
 )
 from .experiments import (
     CapabilityRow,
@@ -38,8 +53,12 @@ from .reporting import (
 )
 
 __all__ = [
-    "Comparison", "CompileResult", "RunResult", "compare",
+    "Comparison", "CompileCache", "CompileResult", "RunResult", "compare",
     "compile_baseline", "compile_cfm", "execute", "geomean",
+    "ParallelRunner", "SweepError", "SweepTask", "TaskResult",
+    "run_task", "run_tasks",
+    "SWEEP_TRACE_SCHEMA", "SweepTraceCollector",
+    "pass_trace_events", "write_pass_trace_jsonl",
     "CapabilityRow", "CompileTimeRow", "CounterRow",
     "DEFAULT_GRID_DIM", "DEFAULT_SEED", "Figure8Result",
     "REAL_BLOCK_SIZES", "SYNTHETIC_BLOCK_SIZES", "SpeedupRow",

@@ -1,16 +1,28 @@
 """Regenerate the paper's full evaluation from the command line:
 
-    python -m repro.evaluation [--out report.txt] [--quick]
+    python -m repro.evaluation [--out report.txt] [--quick] [--workers N]
 
 Runs Table I, Figures 7–10 and Table II and prints (or writes) the
-formatted report.  ``--quick`` shrinks the sweeps for a fast smoke run.
+formatted report.  ``--quick`` shrinks the sweeps for a fast smoke run;
+``--workers N`` fans the figure sweeps across N worker processes (rows
+are deterministic — identical to the serial run); ``--kernels A,B``
+restricts the sweeps to the named kernels (skipping the whole-suite
+tables), which is what CI's smoke job uses.
+
+A machine-readable ``sweep_trace.json`` (per-config pass timings, cache
+stats, full metrics — see ``docs/evaluation.md``) is written alongside
+the report unless ``--no-trace`` is given.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
+from typing import Optional, Sequence
+
+from repro.kernels import REAL_WORLD_BUILDERS, SYNTHETIC_BUILDERS
 
 from .experiments import (
     REAL_BLOCK_SIZES,
@@ -28,33 +40,61 @@ from .reporting import (
     format_table1,
     format_table2,
 )
+from .trace import SweepTraceCollector
 
 
-def build_report(quick: bool = False) -> str:
+def build_report(quick: bool = False, workers: int = 1,
+                 timeout: Optional[float] = None,
+                 kernels: Optional[Sequence[str]] = None,
+                 trace: Optional[SweepTraceCollector] = None) -> str:
     sections = []
     start = time.perf_counter()
 
-    sections.append(format_table1(table1()))
+    synthetic = {name: builder for name, builder in SYNTHETIC_BUILDERS.items()
+                 if not kernels or name in kernels}
+    real = {name: builder for name, builder in REAL_WORLD_BUILDERS.items()
+            if not kernels or name in kernels}
+    if kernels:
+        unknown = set(kernels) - set(synthetic) - set(real)
+        if unknown:
+            available = sorted(SYNTHETIC_BUILDERS) + sorted(REAL_WORLD_BUILDERS)
+            raise SystemExit(
+                f"unknown kernel(s): {', '.join(sorted(unknown))} "
+                f"(available: {', '.join(available)})")
 
-    synthetic_sizes = [16, 32] if quick else None
-    rows7, _ = figure7(block_sizes=synthetic_sizes)
-    sections.append(format_speedups(rows7, "Figure 7: synthetic benchmark speedups"))
+    # Whole-suite tables only make sense over the full kernel set.
+    if not kernels:
+        sections.append(format_table1(table1()))
 
-    real_sizes = ({k: v[:2] for k, v in REAL_BLOCK_SIZES.items()}
-                  if quick else None)
-    fig8 = figure8(block_sizes=real_sizes)
-    sections.append(format_figure8(fig8))
+    rows7 = []
+    if synthetic:
+        synthetic_sizes = [16, 32] if quick else None
+        rows7, _ = figure7(block_sizes=synthetic_sizes, workers=workers,
+                           timeout=timeout, trace=trace, builders=synthetic)
+        sections.append(
+            format_speedups(rows7, "Figure 7: synthetic benchmark speedups"))
 
-    counter_rows = counters(best_improvement_rows(rows7 + fig8.rows))
-    sections.append(format_counters(counter_rows))
+    fig8_rows = []
+    if real:
+        real_sizes = ({k: v[:2] for k, v in REAL_BLOCK_SIZES.items()}
+                      if quick else None)
+        fig8 = figure8(block_sizes=real_sizes, workers=workers,
+                       timeout=timeout, trace=trace, builders=real)
+        fig8_rows = fig8.rows
+        sections.append(format_figure8(fig8))
 
-    sections.append(format_table2(table2(repeats=1 if quick else 3)))
+    if rows7 or fig8_rows:
+        counter_rows = counters(best_improvement_rows(rows7 + fig8_rows))
+        sections.append(format_counters(counter_rows))
+
+    if not kernels:
+        sections.append(format_table2(table2(repeats=1 if quick else 3)))
 
     elapsed = time.perf_counter() - start
     header = (
         "CFM/DARM reproduction — full evaluation report\n"
-        f"(regenerated in {elapsed:.1f}s; see EXPERIMENTS.md for the "
-        "paper-vs-measured discussion)\n"
+        f"(regenerated in {elapsed:.1f}s with workers={workers}; see "
+        "EXPERIMENTS.md for the paper-vs-measured discussion)\n"
     )
     return header + "\n\n".join([""] + sections) + "\n"
 
@@ -66,17 +106,36 @@ def main(argv=None) -> int:
     parser.add_argument("--out", help="write the report to this file")
     parser.add_argument("--quick", action="store_true",
                         help="smaller sweeps for a fast smoke run")
+    parser.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="worker processes for the figure sweeps "
+                             "(default 1 = serial; rows are identical)")
+    parser.add_argument("--timeout", type=float, default=None, metavar="SEC",
+                        help="per-task wall-clock timeout (workers > 1 only); "
+                             "a timed-out config is retried once, then fails")
+    parser.add_argument("--kernels", metavar="A,B,...",
+                        help="restrict the sweeps to these kernels and skip "
+                             "the whole-suite tables (CI smoke mode)")
+    parser.add_argument("--trace", metavar="FILE",
+                        help="write the machine-readable sweep trace here "
+                             "(default: sweep_trace.json next to --out)")
+    parser.add_argument("--no-trace", action="store_true",
+                        help="skip writing the sweep trace")
     parser.add_argument("--json", metavar="FILE",
                         help="also dump raw speedup/counter data as JSON")
     args = parser.parse_args(argv)
 
+    kernels = ([k.strip() for k in args.kernels.split(",") if k.strip()]
+               if args.kernels else None)
+    trace = (None if args.no_trace
+             else SweepTraceCollector(workers=args.workers,
+                                      timeout=args.timeout))
+
     if args.json:
         import json
 
-        from .experiments import figure7, figure8
-
-        rows7, gm7 = figure7(block_sizes=[16, 32] if args.quick else None)
-        fig8 = figure8()
+        rows7, gm7 = figure7(block_sizes=[16, 32] if args.quick else None,
+                             workers=args.workers, timeout=args.timeout)
+        fig8 = figure8(workers=args.workers, timeout=args.timeout)
         payload = {
             "figure7": {
                 "geomean": gm7,
@@ -100,13 +159,21 @@ def main(argv=None) -> int:
             json.dump(payload, handle, indent=2)
         print(f"wrote {args.json}")
 
-    report = build_report(quick=args.quick)
+    report = build_report(quick=args.quick, workers=args.workers,
+                          timeout=args.timeout, kernels=kernels, trace=trace)
     if args.out:
         with open(args.out, "w") as handle:
             handle.write(report)
         print(f"wrote {args.out}")
     else:
         print(report)
+
+    if trace is not None:
+        trace_path = args.trace or os.path.join(
+            os.path.dirname(args.out) if args.out else ".",
+            "sweep_trace.json")
+        trace.write(trace_path)
+        print(f"wrote {trace_path} ({trace.task_count} task entries)")
     return 0
 
 

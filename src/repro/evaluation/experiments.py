@@ -25,7 +25,9 @@ from repro.transforms import (
     speculate_hammocks,
 )
 
+from .parallel import ParallelRunner, SweepError, SweepTask, TaskResult
 from .runner import Comparison, compare, compile_baseline, compile_cfm, execute, geomean
+from .trace import SweepTraceCollector
 
 #: block-size sweeps (paper §VI-A treats block size as exogenous)
 SYNTHETIC_BLOCK_SIZES: List[int] = [32, 64, 128]
@@ -63,33 +65,60 @@ def run_sweep(
     grid_dim: int = DEFAULT_GRID_DIM,
     seed: int = DEFAULT_SEED,
     config: Optional[CFMConfig] = None,
+    workers: int = 1,
+    timeout: Optional[float] = None,
+    trace: Optional[SweepTraceCollector] = None,
+    trace_section: str = "sweep",
 ) -> List[SpeedupRow]:
-    rows: List[SpeedupRow] = []
-    for name, builder in builders.items():
-        for block_size in block_sizes[name]:
-            comparison = compare(builder, block_size, grid_dim=grid_dim,
-                                 seed=seed, config=config, name=name)
-            rows.append(SpeedupRow(
-                kernel=name,
-                block_size=block_size,
-                speedup=comparison.speedup,
-                baseline_cycles=comparison.baseline.cycles,
-                cfm_cycles=comparison.melded.cycles,
-                melds=comparison.melds,
-                comparison=comparison,
-            ))
-    return rows
+    """Run every (kernel, block size) comparison through the sweep engine.
+
+    ``workers > 1`` fans tasks across a process pool (see
+    ``repro.evaluation.parallel``); results are ordered identically to
+    the serial run.  A failed task — after its retry — raises
+    :class:`SweepError` rather than silently dropping a figure row.
+    """
+    tasks = [SweepTask(kernel=name, builder=builder, block_size=block_size,
+                       grid_dim=grid_dim, seed=seed, config=config)
+             for name, builder in builders.items()
+             for block_size in block_sizes[name]]
+    results = ParallelRunner(workers=workers, timeout=timeout).run(tasks)
+    if trace is not None:
+        trace.record(trace_section, results)
+    failures = [r for r in results if not r.ok]
+    if failures:
+        raise SweepError(failures)
+    return [_speedup_row(result) for result in results]
+
+
+def _speedup_row(result: TaskResult) -> SpeedupRow:
+    comparison = result.comparison
+    return SpeedupRow(
+        kernel=result.kernel,
+        block_size=result.block_size,
+        speedup=comparison.speedup,
+        baseline_cycles=comparison.baseline.cycles,
+        cfm_cycles=comparison.melded.cycles,
+        melds=comparison.melds,
+        comparison=comparison,
+    )
 
 
 # ---- Figure 7: synthetic speedups ---------------------------------------------
 
 
 def figure7(seed: int = DEFAULT_SEED,
-            block_sizes: Optional[List[int]] = None) -> Tuple[List[SpeedupRow], float]:
+            block_sizes: Optional[List[int]] = None,
+            workers: int = 1,
+            timeout: Optional[float] = None,
+            trace: Optional[SweepTraceCollector] = None,
+            builders: Optional[Dict[str, Callable[..., KernelCase]]] = None,
+            ) -> Tuple[List[SpeedupRow], float]:
     """Synthetic benchmark speedups and their geomean (paper: 1.32×)."""
     sizes = block_sizes or SYNTHETIC_BLOCK_SIZES
-    rows = run_sweep(SYNTHETIC_BUILDERS, {n: sizes for n in SYNTHETIC_BUILDERS},
-                     seed=seed)
+    selected = builders if builders is not None else SYNTHETIC_BUILDERS
+    rows = run_sweep(selected, {n: sizes for n in selected},
+                     seed=seed, workers=workers, timeout=timeout,
+                     trace=trace, trace_section="figure7")
     return rows, geomean([r.speedup for r in rows])
 
 
@@ -106,11 +135,19 @@ class Figure8Result:
 
 
 def figure8(seed: int = DEFAULT_SEED,
-            block_sizes: Optional[Dict[str, List[int]]] = None) -> Figure8Result:
+            block_sizes: Optional[Dict[str, List[int]]] = None,
+            workers: int = 1,
+            timeout: Optional[float] = None,
+            trace: Optional[SweepTraceCollector] = None,
+            builders: Optional[Dict[str, Callable[..., KernelCase]]] = None,
+            ) -> Figure8Result:
     """Real-benchmark speedups, geomean, and the paper's '+'-marked
     best-baseline-block-size analysis (paper: GM 1.15×, GM-best higher)."""
     sizes = block_sizes or REAL_BLOCK_SIZES
-    rows = run_sweep(REAL_WORLD_BUILDERS, sizes, seed=seed)
+    selected = builders if builders is not None else REAL_WORLD_BUILDERS
+    rows = run_sweep(selected, {n: sizes[n] for n in selected}, seed=seed,
+                     workers=workers, timeout=timeout, trace=trace,
+                     trace_section="figure8")
 
     best_block: Dict[str, int] = {}
     for kernel in {r.kernel for r in rows}:
@@ -182,10 +219,11 @@ def counters(rows: List[SpeedupRow]) -> List[CounterRow]:
 
 
 def figures9_and_10(rows: Optional[List[SpeedupRow]] = None,
-                    seed: int = DEFAULT_SEED) -> List[CounterRow]:
+                    seed: int = DEFAULT_SEED,
+                    workers: int = 1) -> List[CounterRow]:
     if rows is None:
-        synthetic, _ = figure7(seed=seed)
-        real = figure8(seed=seed).rows
+        synthetic, _ = figure7(seed=seed, workers=workers)
+        real = figure8(seed=seed, workers=workers).rows
         rows = synthetic + real
     return counters(best_improvement_rows(rows))
 

@@ -1,0 +1,252 @@
+"""Parallel sweep engine for the evaluation harness.
+
+Every ``(kernel, block size, config)`` comparison in a figure sweep is
+independent — :func:`repro.evaluation.runner.compare` builds fresh
+:class:`~repro.kernels.common.KernelCase` objects per call — so
+:class:`ParallelRunner` fans them out across worker processes:
+
+* **deterministic ordering** — results come back in task-submission
+  order regardless of which worker finishes first, so a parallel sweep
+  produces row-for-row identical output to a serial one;
+* **fault isolation** — each task runs in its own process with an
+  optional wall-clock ``timeout``; a diverging simulation is terminated
+  and retried once (fresh process) before being reported as a failure,
+  so one bad configuration cannot hang a whole figure;
+* **compile caching** — every task uses a :class:`CompileCache`, so the
+  ``-O3`` stage runs once per comparison instead of once per arm.
+
+``workers <= 1`` runs tasks serially in-process (the reference path the
+determinism tests compare against); ``workers > 1`` uses one process per
+task with at most ``workers`` alive at a time — per-task processes make
+timeout enforcement a clean ``terminate()`` instead of a poisoned pool.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+import traceback
+from collections import deque
+from dataclasses import dataclass, field
+from multiprocessing.connection import wait as _connection_wait
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core import CFMConfig
+from repro.kernels.common import KernelCase
+
+from .runner import Comparison, CompileCache, compare
+
+#: forcibly terminated / crashed tasks are retried this many times
+DEFAULT_RETRIES = 1
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One comparison to run: kernel builder + launch configuration."""
+
+    kernel: str
+    builder: Callable[..., KernelCase]
+    block_size: int
+    grid_dim: int = 2
+    seed: int = 1234
+    config: Optional[CFMConfig] = None
+
+
+@dataclass
+class TaskResult:
+    """Outcome of one :class:`SweepTask` (success or terminal failure)."""
+
+    index: int
+    kernel: str
+    block_size: int
+    comparison: Optional[Comparison] = None
+    error: Optional[str] = None
+    attempts: int = 1
+    seconds: float = 0.0
+    compile_cache_hits: int = 0
+    compile_cache_misses: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.comparison is not None
+
+
+class SweepError(RuntimeError):
+    """One or more sweep tasks failed after exhausting retries."""
+
+    def __init__(self, failures: List[TaskResult]) -> None:
+        self.failures = list(failures)
+        detail = "; ".join(
+            f"{f.kernel}-{f.block_size} (attempts={f.attempts}): {f.error}"
+            for f in self.failures)
+        super().__init__(f"{len(self.failures)} sweep task(s) failed: {detail}")
+
+
+def run_task(task: SweepTask, index: int = 0, attempts: int = 1) -> TaskResult:
+    """Execute one comparison with a per-task compile cache."""
+    cache = CompileCache()
+    start = time.perf_counter()
+    comparison = compare(
+        task.builder, task.block_size, grid_dim=task.grid_dim,
+        seed=task.seed, config=task.config, name=task.kernel,
+        cache=cache, collect_ir_stats=True)
+    return TaskResult(
+        index=index, kernel=task.kernel, block_size=task.block_size,
+        comparison=comparison, attempts=attempts,
+        seconds=time.perf_counter() - start,
+        compile_cache_hits=cache.hits, compile_cache_misses=cache.misses)
+
+
+def _child_main(task: SweepTask, index: int, attempts: int, conn) -> None:
+    """Worker-process entry point: send back a TaskResult, never raise."""
+    start = time.perf_counter()
+    try:
+        result = run_task(task, index=index, attempts=attempts)
+    except BaseException as exc:  # noqa: BLE001 — report, don't kill silently
+        result = TaskResult(
+            index=index, kernel=task.kernel, block_size=task.block_size,
+            error=f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}",
+            attempts=attempts, seconds=time.perf_counter() - start)
+    try:
+        conn.send(result)
+    finally:
+        conn.close()
+
+
+def _mp_context():
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else None)
+
+
+class ParallelRunner:
+    """Run :class:`SweepTask` lists with bounded parallelism.
+
+    ``timeout`` is per task attempt, in seconds (``None`` disables it —
+    only meaningful with ``workers > 1``, since the serial path cannot
+    preempt a running task).
+    """
+
+    def __init__(self, workers: int = 1, timeout: Optional[float] = None,
+                 retries: int = DEFAULT_RETRIES) -> None:
+        self.workers = max(1, int(workers))
+        self.timeout = timeout
+        self.retries = max(0, int(retries))
+
+    # ---- serial reference path -------------------------------------------
+
+    def _run_serial(self, tasks: Sequence[SweepTask]) -> List[TaskResult]:
+        results: List[TaskResult] = []
+        for index, task in enumerate(tasks):
+            attempt = 1
+            while True:
+                start = time.perf_counter()
+                try:
+                    results.append(run_task(task, index=index, attempts=attempt))
+                    break
+                except Exception as exc:  # noqa: BLE001
+                    if attempt > self.retries:
+                        results.append(TaskResult(
+                            index=index, kernel=task.kernel,
+                            block_size=task.block_size,
+                            error=f"{type(exc).__name__}: {exc}",
+                            attempts=attempt,
+                            seconds=time.perf_counter() - start))
+                        break
+                    attempt += 1
+        return results
+
+    # ---- process-per-task path -------------------------------------------
+
+    def _run_parallel(self, tasks: Sequence[SweepTask]) -> List[TaskResult]:
+        ctx = _mp_context()
+        pending: deque = deque(
+            (index, task, 1) for index, task in enumerate(tasks))
+        #: conn -> (process, index, task, attempt, monotonic start)
+        live: Dict[object, Tuple[object, int, SweepTask, int, float]] = {}
+        results: Dict[int, TaskResult] = {}
+
+        def fail_or_retry(index: int, task: SweepTask, attempt: int,
+                          message: str, started: float) -> None:
+            if attempt <= self.retries:
+                pending.appendleft((index, task, attempt + 1))
+            else:
+                results[index] = TaskResult(
+                    index=index, kernel=task.kernel,
+                    block_size=task.block_size, error=message,
+                    attempts=attempt,
+                    seconds=time.monotonic() - started)
+
+        while pending or live:
+            while pending and len(live) < self.workers:
+                index, task, attempt = pending.popleft()
+                parent_conn, child_conn = ctx.Pipe(duplex=False)
+                process = ctx.Process(
+                    target=_child_main,
+                    args=(task, index, attempt, child_conn),
+                    daemon=True)
+                process.start()
+                child_conn.close()
+                live[parent_conn] = (process, index, task, attempt,
+                                     time.monotonic())
+
+            # Wake up either when a worker reports or when the earliest
+            # deadline expires.
+            wait_for: Optional[float] = None
+            if self.timeout is not None:
+                now = time.monotonic()
+                wait_for = max(0.0, min(
+                    started + self.timeout - now
+                    for (_, _, _, _, started) in live.values()))
+            ready = _connection_wait(list(live), timeout=wait_for)
+
+            for conn in ready:
+                process, index, task, attempt, started = live.pop(conn)
+                try:
+                    result = conn.recv()
+                except (EOFError, OSError):
+                    result = None
+                conn.close()
+                process.join()
+                if result is None:
+                    fail_or_retry(index, task, attempt,
+                                  "worker process died without reporting "
+                                  f"(exit code {process.exitcode})", started)
+                elif result.error is not None and attempt <= self.retries:
+                    pending.appendleft((index, task, attempt + 1))
+                else:
+                    results[index] = result
+
+            if self.timeout is not None:
+                now = time.monotonic()
+                for conn in list(live):
+                    process, index, task, attempt, started = live[conn]
+                    if now - started <= self.timeout:
+                        continue
+                    del live[conn]
+                    process.terminate()
+                    process.join()
+                    conn.close()
+                    fail_or_retry(
+                        index, task, attempt,
+                        f"timed out after {self.timeout:g}s", started)
+
+        return [results[index] for index in range(len(tasks))]
+
+    # ---- public API -------------------------------------------------------
+
+    def run(self, tasks: Sequence[SweepTask]) -> List[TaskResult]:
+        """Run every task; results are ordered by task index."""
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        if self.workers <= 1:
+            return self._run_serial(tasks)
+        return self._run_parallel(tasks)
+
+
+def run_tasks(tasks: Sequence[SweepTask], workers: int = 1,
+              timeout: Optional[float] = None,
+              retries: int = DEFAULT_RETRIES) -> List[TaskResult]:
+    """Convenience wrapper: ``ParallelRunner(...).run(tasks)``."""
+    return ParallelRunner(workers=workers, timeout=timeout,
+                          retries=retries).run(tasks)

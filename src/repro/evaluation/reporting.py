@@ -30,11 +30,13 @@ def format_speedups(rows: List[SpeedupRow], title: str) -> str:
     body = [[r.kernel, str(r.block_size), f"{r.speedup:.3f}",
              str(r.baseline_cycles), str(r.cfm_cycles), str(r.melds)]
             for r in rows]
-    gm = geomean([r.speedup for r in rows])
+    # geomean() raises on empty input; an empty sweep is rendered
+    # explicitly rather than as a misleading GM figure.
+    gm = f"{geomean([r.speedup for r in rows]):.3f}" if rows else "n/a"
     return (f"{title}\n"
             + _table(["kernel", "block", "speedup", "base cycles",
                       "cfm cycles", "melds"], body)
-            + f"\nGM = {gm:.3f}")
+            + f"\nGM = {gm}")
 
 
 def format_figure8(result: Figure8Result) -> str:

@@ -6,24 +6,90 @@ compiled at ``-O3`` (folding, unrolling, CFG cleanup, if-conversion).
 cleanups, exactly as §V-A describes the modified HIPCC pipeline (and as
 §IV-G observes, the late if-conversion re-predicates what unpredication
 split, so both configurations see the same late passes).
+
+Both compile entry points accept an optional :class:`CompileCache`.  The
+cache is keyed on the *content* of the pre-``-O3`` IR (its printed form),
+so the two arms of one comparison — which start from identical builder
+output — share a single ``-O3`` run: the baseline arm populates the
+cache and the CFM arm replays the optimized module from it.
 """
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core import CFMConfig, CFMStats, run_cfm
-from repro.ir import verify_function
+from repro.ir import print_module, verify_function
+from repro.ir.parser import parse_module
 from repro.kernels.common import KernelCase
 from repro.simt import MachineConfig, Metrics, run_kernel
 from repro.transforms import (
+    PassPipeline,
+    PassTiming,
     eliminate_dead_code,
     optimize,
     simplify_cfg,
     speculate_hammocks,
 )
+
+
+@dataclass
+class _CacheEntry:
+    optimized_ir: str  # print_module() of the post-pipeline module
+    seconds: float
+    timings: List[PassTiming]
+
+
+class CompileCache:
+    """Content-keyed cache of ``-O3`` results.
+
+    Key: ``(pipeline_id, print_module(pre-O3 module))``.  Value: the
+    *printed* optimized module (plus the wall-clock seconds and per-pass
+    timings of the run that produced it).  Consumers re-parse the text,
+    so every hit yields an independent module — entries are never
+    aliased into live kernel cases, and storage stays flat text rather
+    than deep object graphs.  Printing and parsing round-trip exactly
+    (``tests/ir/test_function_module.py``), so a replayed module is
+    indistinguishable from a freshly optimized one.
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[Tuple[str, str], _CacheEntry] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @staticmethod
+    def key_for(case: KernelCase, pipeline_id: str = "o3") -> Tuple[str, str]:
+        return (pipeline_id, print_module(case.module))
+
+    def lookup(self, key: Tuple[str, str]) -> Optional[Tuple[object, float, List[PassTiming]]]:
+        """Return ``(module, seconds, timings)`` for a hit, else None."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        try:
+            module = parse_module(entry.optimized_ir)
+        except Exception:
+            # Unparseable entry (e.g. an IR construct the printer can
+            # express but the parser cannot): treat as a miss and let
+            # the caller recompile — identical semantics, just slower.
+            self.misses += 1
+            return None
+        self.hits += 1
+        return module, entry.seconds, list(entry.timings)
+
+    def store(self, key: Tuple[str, str], module: object, seconds: float,
+              timings: List[PassTiming]) -> None:
+        self._entries[key] = _CacheEntry(optimized_ir=print_module(module),
+                                         seconds=seconds,
+                                         timings=list(timings))
 
 
 @dataclass
@@ -33,43 +99,88 @@ class CompileResult:
     o3_seconds: float
     cfm_seconds: float = 0.0
     cfm_stats: Optional[CFMStats] = None
+    #: the O3 stage was replayed from a :class:`CompileCache`
+    o3_cached: bool = False
+    #: per-pass executions, in order (O3 fixpoint, then CFM + late cleanups)
+    pass_timings: List[PassTiming] = field(default_factory=list)
 
     @property
     def total_seconds(self) -> float:
         return self.o3_seconds + self.cfm_seconds
 
 
-def compile_baseline(case: KernelCase, verify: bool = True) -> CompileResult:
-    """``-O3`` pipeline only."""
+def _run_o3(case: KernelCase, cache: Optional[CompileCache],
+            collect_ir_stats: bool) -> Tuple[float, bool, List[PassTiming]]:
+    """Run (or replay) the ``-O3`` pipeline on ``case``'s module in place.
+
+    Returns ``(seconds, cached, pass_timings)``.  On a cache hit the
+    case's module is swapped for a deep copy of the cached optimized
+    module and the *original* run's seconds/timings are reported, so
+    aggregate compile-time numbers stay meaningful.
+    """
+    if cache is not None:
+        key = CompileCache.key_for(case)
+        hit = cache.lookup(key)
+        if hit is not None:
+            module, seconds, timings = hit
+            case.module = module
+            return seconds, True, timings
     start = time.perf_counter()
-    optimize(case.function)
+    pipeline = optimize(case.function, collect_ir_stats=collect_ir_stats)
     seconds = time.perf_counter() - start
+    timings = list(pipeline.timings)
+    if cache is not None:
+        cache.store(key, case.module, seconds, timings)
+    return seconds, False, timings
+
+
+def compile_baseline(case: KernelCase, verify: bool = True,
+                     cache: Optional[CompileCache] = None,
+                     collect_ir_stats: bool = False) -> CompileResult:
+    """``-O3`` pipeline only."""
+    seconds, cached, timings = _run_o3(case, cache, collect_ir_stats)
     if verify:
         verify_function(case.function)
-    return CompileResult(o3_seconds=seconds)
+    return CompileResult(o3_seconds=seconds, o3_cached=cached,
+                         pass_timings=timings)
 
 
 def compile_cfm(case: KernelCase, config: Optional[CFMConfig] = None,
-                verify: bool = True) -> CompileResult:
+                verify: bool = True,
+                cache: Optional[CompileCache] = None,
+                collect_ir_stats: bool = False) -> CompileResult:
     """``-O3`` + CFM + late cleanups (§V-A pipeline)."""
-    start = time.perf_counter()
-    optimize(case.function)
-    o3_seconds = time.perf_counter() - start
+    o3_seconds, cached, timings = _run_o3(case, cache, collect_ir_stats)
+    timings = list(timings)
 
     start = time.perf_counter()
+    if collect_ir_stats:
+        blocks_before, instrs_before = PassPipeline._ir_size(case.function)
     stats = run_cfm(case.function, config)
+    cfm_timing = PassTiming("cfm", stats.seconds, stats.changed)
+    if collect_ir_stats:
+        cfm_timing.blocks_before = blocks_before
+        cfm_timing.instructions_before = instrs_before
+        cfm_timing.blocks_after, cfm_timing.instructions_after = \
+            PassPipeline._ir_size(case.function)
+    timings.append(cfm_timing)
     # The "rest of the compilation flow" — late SimplifyCFG and the
     # aggressive if-conversion that §IV-G notes re-predicates pure
     # unpredicated blocks.
-    simplify_cfg(case.function)
-    speculate_hammocks(case.function)
-    simplify_cfg(case.function)
-    eliminate_dead_code(case.function)
+    late = PassPipeline([
+        ("late-simplifycfg", simplify_cfg),
+        ("late-speculate", speculate_hammocks),
+        ("late-simplifycfg2", simplify_cfg),
+        ("late-dce", eliminate_dead_code),
+    ], collect_ir_stats=collect_ir_stats)
+    late.run(case.function)
+    timings.extend(late.timings)
     cfm_seconds = time.perf_counter() - start
     if verify:
         verify_function(case.function)
     return CompileResult(o3_seconds=o3_seconds, cfm_seconds=cfm_seconds,
-                         cfm_stats=stats)
+                         cfm_stats=stats, o3_cached=cached,
+                         pass_timings=timings)
 
 
 @dataclass
@@ -122,14 +233,22 @@ def compare(
     config: Optional[CFMConfig] = None,
     machine: Optional[MachineConfig] = None,
     name: Optional[str] = None,
+    cache: Optional[CompileCache] = None,
+    collect_ir_stats: bool = False,
 ) -> Comparison:
     """Build, compile and run one kernel both ways; outputs are verified
-    against the kernel's reference — a CFM miscompile fails loudly."""
+    against the kernel's reference — a CFM miscompile fails loudly.
+
+    With a ``cache``, the ``-O3`` stage runs once: the baseline arm
+    populates it and the CFM arm replays the optimized module.
+    """
     base_case = builder(block_size=block_size, grid_dim=grid_dim)
     cfm_case = builder(block_size=block_size, grid_dim=grid_dim)
 
-    base_compile = compile_baseline(base_case)
-    cfm_compile = compile_cfm(cfm_case, config)
+    base_compile = compile_baseline(base_case, cache=cache,
+                                    collect_ir_stats=collect_ir_stats)
+    cfm_compile = compile_cfm(cfm_case, config, cache=cache,
+                              collect_ir_stats=collect_ir_stats)
 
     base_run = execute(base_case, seed=seed, machine=machine)
     cfm_run = execute(cfm_case, seed=seed, machine=machine)
@@ -146,10 +265,20 @@ def compare(
     )
 
 
-def geomean(values: List[float]) -> float:
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean via log-domain summation.
+
+    A naive running product over/underflows on long sweeps, and the old
+    empty-input fallback of ``0.0`` silently zeroed GM columns in the
+    report — both are hard errors now: empty input and non-positive
+    entries raise :class:`ValueError`.
+    """
     if not values:
-        return 0.0
-    product = 1.0
+        raise ValueError("geomean() of an empty sequence")
+    log_sum = 0.0
     for value in values:
-        product *= value
-    return product ** (1.0 / len(values))
+        if value <= 0.0:
+            raise ValueError(
+                f"geomean() requires positive values, got {value!r}")
+        log_sum += math.log(value)
+    return math.exp(log_sum / len(values))

@@ -1,0 +1,112 @@
+"""Structured sweep traces: machine-readable observability for the
+evaluation harness.
+
+Two artifacts:
+
+* **pass traces** — JSON-lines of per-pass events (name, seconds,
+  changed, IR block/instruction counts before/after), produced from
+  :class:`~repro.transforms.pass_manager.PassTiming` lists;
+* **sweep traces** — one ``sweep_trace.json`` per harness run: for every
+  ``(kernel, block size)`` configuration, the wall-clock cost, compile
+  breakdown (including cache hits), per-pass events for both arms, and
+  the full serialized metrics of both runs.  Written alongside
+  ``report.txt`` so perf regressions between PRs are diffable.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.transforms import PassTiming
+
+from .parallel import TaskResult
+
+#: bump when the trace layout changes; consumers key off this
+SWEEP_TRACE_SCHEMA = "repro.evaluation.sweep_trace/v1"
+
+
+def pass_trace_events(timings: Sequence[PassTiming]) -> List[Dict[str, object]]:
+    """Serialize pass timings as JSON-ready event dicts."""
+    return [t.as_dict() for t in timings]
+
+
+def write_pass_trace_jsonl(timings: Sequence[PassTiming], path: str) -> None:
+    """Write one JSON object per pass execution (JSON-lines)."""
+    with open(path, "w") as handle:
+        for event in pass_trace_events(timings):
+            handle.write(json.dumps(event) + "\n")
+
+
+def task_entry(result: TaskResult) -> Dict[str, object]:
+    """One sweep-trace entry for a finished (or failed) task."""
+    entry: Dict[str, object] = {
+        "kernel": result.kernel,
+        "block_size": result.block_size,
+        "index": result.index,
+        "ok": result.ok,
+        "attempts": result.attempts,
+        "seconds": round(result.seconds, 6),
+        "compile_cache": {"hits": result.compile_cache_hits,
+                          "misses": result.compile_cache_misses},
+    }
+    if not result.ok:
+        entry["error"] = result.error
+        return entry
+    comparison = result.comparison
+    entry.update({
+        "speedup": comparison.speedup,
+        "melds": comparison.melds,
+        "baseline_cycles": comparison.baseline.cycles,
+        "cfm_cycles": comparison.melded.cycles,
+        "compile": {
+            "baseline": {
+                "o3_seconds": comparison.baseline_compile.o3_seconds,
+                "o3_cached": comparison.baseline_compile.o3_cached,
+                "passes": pass_trace_events(
+                    comparison.baseline_compile.pass_timings),
+            },
+            "cfm": {
+                "o3_seconds": comparison.cfm_compile.o3_seconds,
+                "o3_cached": comparison.cfm_compile.o3_cached,
+                "cfm_seconds": comparison.cfm_compile.cfm_seconds,
+                "passes": pass_trace_events(
+                    comparison.cfm_compile.pass_timings),
+            },
+        },
+        "baseline_metrics": comparison.baseline.as_dict(),
+        "cfm_metrics": comparison.melded.as_dict(),
+    })
+    return entry
+
+
+@dataclass
+class SweepTraceCollector:
+    """Accumulates per-task entries across one harness invocation."""
+
+    workers: int = 1
+    timeout: Optional[float] = None
+    sections: Dict[str, List[Dict[str, object]]] = field(default_factory=dict)
+
+    def record(self, section: str, results: Sequence[TaskResult]) -> None:
+        self.sections.setdefault(section, []).extend(
+            task_entry(result) for result in results)
+
+    @property
+    def task_count(self) -> int:
+        return sum(len(entries) for entries in self.sections.values())
+
+    def payload(self) -> Dict[str, object]:
+        return {
+            "schema": SWEEP_TRACE_SCHEMA,
+            "workers": self.workers,
+            "timeout": self.timeout,
+            "task_count": self.task_count,
+            "sections": self.sections,
+        }
+
+    def write(self, path: str) -> None:
+        with open(path, "w") as handle:
+            json.dump(self.payload(), handle, indent=2)
+            handle.write("\n")

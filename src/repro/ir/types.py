@@ -25,6 +25,15 @@ class Type:
     def __hash__(self) -> int:
         return id(self)
 
+    # Interned objects are atomic: copying must preserve identity, or
+    # identity-based equality breaks (and ``__new__`` interning rejects
+    # the copy protocol's argument-less reconstruction).
+    def __copy__(self) -> "Type":
+        return self
+
+    def __deepcopy__(self, memo) -> "Type":
+        return self
+
     @property
     def is_integer(self) -> bool:
         return isinstance(self, IntType)

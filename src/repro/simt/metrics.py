@@ -117,11 +117,22 @@ class Metrics:
         return self.memory_issues.get(AddressSpace.FLAT, 0)
 
     def as_dict(self) -> Dict[str, object]:
-        """JSON-serializable snapshot (used by the report CLI)."""
+        """Lossless JSON-serializable snapshot (report CLI, sweep trace).
+
+        Contains every raw counter, so ``Metrics.from_dict(m.as_dict())``
+        round-trips exactly; derived quantities (``alu_utilization``,
+        the per-space issue counts) are included for readability but
+        ignored on the way back in.
+        """
         return {
             "cycles": self.cycles,
             "instructions_issued": self.instructions_issued,
+            "alu_issues": self.alu_issues,
+            "alu_active_lanes": self.alu_active_lanes,
+            "warp_size": self.warp_size,
             "alu_utilization": round(self.alu_utilization, 4),
+            "memory_issues": {str(space): count
+                              for space, count in sorted(self.memory_issues.items())},
             "vector_memory_issues": self.vector_memory_issues,
             "shared_memory_issues": self.shared_memory_issues,
             "flat_memory_issues": self.flat_memory_issues,
@@ -131,6 +142,25 @@ class Metrics:
             "barriers": self.barriers,
             "branch_profile": {k: list(v) for k, v in self.branch_profile.items()},
         }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Metrics":
+        """Inverse of :meth:`as_dict` (derived fields are recomputed)."""
+        return cls(
+            cycles=int(data.get("cycles", 0)),
+            instructions_issued=int(data.get("instructions_issued", 0)),
+            alu_issues=int(data.get("alu_issues", 0)),
+            alu_active_lanes=int(data.get("alu_active_lanes", 0)),
+            warp_size=int(data.get("warp_size", 32)),
+            memory_issues={int(space): int(count) for space, count
+                           in dict(data.get("memory_issues", {})).items()},
+            memory_transactions=int(data.get("memory_transactions", 0)),
+            barriers=int(data.get("barriers", 0)),
+            branches=int(data.get("branches", 0)),
+            divergent_branches=int(data.get("divergent_branches", 0)),
+            branch_profile={name: list(entry) for name, entry
+                            in dict(data.get("branch_profile", {})).items()},
+        )
 
     def summary(self) -> str:
         return (

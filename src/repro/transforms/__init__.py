@@ -6,7 +6,7 @@ of that pipeline (folding, unrolling, CFG cleanup, if-conversion) and
 :func:`optimize` drives it to a fixpoint.
 """
 
-from .pass_manager import FunctionPass, PassPipeline, PassTiming
+from .pass_manager import FixpointError, FunctionPass, PassPipeline, PassTiming
 from .dce import eliminate_dead_code
 from .constfold import fold_constants
 from .cse import eliminate_common_subexpressions
@@ -31,7 +31,7 @@ from .speculate import speculate_hammocks
 from .licm import hoist_loop_invariants
 
 __all__ = [
-    "FunctionPass", "PassPipeline", "PassTiming",
+    "FixpointError", "FunctionPass", "PassPipeline", "PassTiming",
     "eliminate_dead_code", "fold_constants",
     "eliminate_common_subexpressions",
     "fold_redundant_branches", "merge_straightline_blocks",
@@ -47,9 +47,10 @@ __all__ = [
 
 
 def o3_pipeline(unroll: bool = True, speculate: bool = True,
-                verify: bool = False) -> PassPipeline:
+                verify: bool = False,
+                collect_ir_stats: bool = False) -> PassPipeline:
     """The baseline optimization pipeline (HIPCC ``-O3`` stand-in)."""
-    pipeline = PassPipeline(verify=verify)
+    pipeline = PassPipeline(verify=verify, collect_ir_stats=collect_ir_stats)
     pipeline.add("constfold", fold_constants)
     pipeline.add("simplifycfg", simplify_cfg)
     pipeline.add("licm", hoist_loop_invariants)
@@ -65,8 +66,9 @@ def o3_pipeline(unroll: bool = True, speculate: bool = True,
 
 
 def optimize(function, unroll: bool = True, speculate: bool = True,
-             verify: bool = False) -> "PassPipeline":
+             verify: bool = False, collect_ir_stats: bool = False) -> "PassPipeline":
     """Run the O3 pipeline to a fixpoint; returns the pipeline (timings)."""
-    pipeline = o3_pipeline(unroll=unroll, speculate=speculate, verify=verify)
+    pipeline = o3_pipeline(unroll=unroll, speculate=speculate, verify=verify,
+                           collect_ir_stats=collect_ir_stats)
     pipeline.run_to_fixpoint(function)
     return pipeline

@@ -5,13 +5,25 @@ changed the IR.  :class:`PassPipeline` runs passes in order (optionally to
 a fixpoint) and can verify the IR after each pass — the test suite runs
 every pipeline in verifying mode, which is how transform bugs surface as
 precise verifier errors rather than downstream miscompiles.
+
+Timings are scoped per invocation: ``timings`` holds only the pass
+executions of the most recent :meth:`PassPipeline.run` /
+:meth:`PassPipeline.run_to_fixpoint` call, while ``cumulative_timings``
+accumulates across the pipeline object's whole lifetime.  Table II's
+compile-time breakdown reads the per-invocation view (one kernel per
+invocation); the cumulative view exists for whole-session profiling.
+
+With ``collect_ir_stats=True`` every :class:`PassTiming` also records the
+IR's block/instruction counts before and after the pass, which the
+evaluation harness serializes into its structured sweep trace (see
+``repro.evaluation.trace``).
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.ir.function import Function
 from repro.ir.verifier import verify_function
@@ -21,34 +33,88 @@ FunctionPass = Callable[[Function], bool]
 
 @dataclass
 class PassTiming:
-    """Wall-clock seconds spent in one pass (Table II's raw material)."""
+    """One pass execution: wall-clock seconds plus optional IR size stats
+    (Table II's raw material and the sweep trace's per-pass events)."""
 
     name: str
     seconds: float
     changed: bool
+    blocks_before: Optional[int] = None
+    blocks_after: Optional[int] = None
+    instructions_before: Optional[int] = None
+    instructions_after: Optional[int] = None
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-serializable event (one line of the pass trace)."""
+        event: Dict[str, object] = {
+            "pass": self.name,
+            "seconds": self.seconds,
+            "changed": self.changed,
+        }
+        if self.blocks_before is not None:
+            event.update(
+                blocks_before=self.blocks_before,
+                blocks_after=self.blocks_after,
+                instructions_before=self.instructions_before,
+                instructions_after=self.instructions_after,
+            )
+        return event
+
+
+class FixpointError(RuntimeError):
+    """A pipeline kept reporting changes at the iteration cap."""
+
+    def __init__(self, function_name: str, max_iterations: int,
+                 unstable_passes: List[str]) -> None:
+        self.function_name = function_name
+        self.max_iterations = max_iterations
+        self.unstable_passes = list(unstable_passes)
+        detail = (", ".join(self.unstable_passes)
+                  if self.unstable_passes else "<none recorded>")
+        super().__init__(
+            f"pipeline did not reach a fixpoint in {max_iterations} "
+            f"iterations on @{function_name}; passes still reporting "
+            f"changes in the final iteration: {detail}")
 
 
 class PassPipeline:
     """An ordered list of named function passes."""
 
     def __init__(self, passes: Optional[List[Tuple[str, FunctionPass]]] = None,
-                 verify: bool = False) -> None:
+                 verify: bool = False, collect_ir_stats: bool = False) -> None:
         self._passes: List[Tuple[str, FunctionPass]] = list(passes or [])
         self.verify = verify
+        self.collect_ir_stats = collect_ir_stats
+        #: pass executions of the most recent run()/run_to_fixpoint() call
         self.timings: List[PassTiming] = []
+        #: every pass execution over the pipeline object's lifetime
+        self.cumulative_timings: List[PassTiming] = []
 
     def add(self, name: str, pass_: FunctionPass) -> "PassPipeline":
         self._passes.append((name, pass_))
         return self
 
-    def run(self, function: Function) -> bool:
-        """Run each pass once, in order.  Returns True if any changed IR."""
+    @staticmethod
+    def _ir_size(function: Function) -> Tuple[int, int]:
+        blocks = function.blocks
+        return len(blocks), sum(len(block) for block in blocks)
+
+    def _run_once(self, function: Function) -> bool:
+        """One sweep over the pass list, appending to the current scope."""
         changed = False
         for name, pass_ in self._passes:
+            if self.collect_ir_stats:
+                blocks_before, instrs_before = self._ir_size(function)
             start = time.perf_counter()
             pass_changed = pass_(function)
-            self.timings.append(
-                PassTiming(name, time.perf_counter() - start, pass_changed))
+            timing = PassTiming(name, time.perf_counter() - start, pass_changed)
+            if self.collect_ir_stats:
+                timing.blocks_before = blocks_before
+                timing.instructions_before = instrs_before
+                timing.blocks_after, timing.instructions_after = \
+                    self._ir_size(function)
+            self.timings.append(timing)
+            self.cumulative_timings.append(timing)
             changed |= pass_changed
             if self.verify:
                 try:
@@ -58,17 +124,39 @@ class PassPipeline:
                         f"IR verification failed after pass {name!r}") from exc
         return changed
 
+    def run(self, function: Function) -> bool:
+        """Run each pass once, in order.  Returns True if any changed IR."""
+        self.timings = []
+        return self._run_once(function)
+
     def run_to_fixpoint(self, function: Function, max_iterations: int = 32) -> bool:
-        """Repeat the whole pipeline until nothing changes."""
+        """Repeat the whole pipeline until nothing changes.
+
+        All iterations share one timing scope: after the call,
+        ``timings`` holds every pass execution of this invocation.
+        """
+        self.timings = []
         any_change = False
+        iteration_start = 0
         for _ in range(max_iterations):
-            if not self.run(function):
+            iteration_start = len(self.timings)
+            if not self._run_once(function):
                 return any_change
             any_change = True
-        raise RuntimeError(
-            f"pipeline did not reach a fixpoint in {max_iterations} iterations "
-            f"on @{function.name}")
+        unstable = sorted({t.name for t in self.timings[iteration_start:]
+                           if t.changed})
+        raise FixpointError(function.name, max_iterations, unstable)
 
     @property
     def total_seconds(self) -> float:
+        """Seconds spent in the most recent run()/run_to_fixpoint()."""
         return sum(t.seconds for t in self.timings)
+
+    @property
+    def cumulative_seconds(self) -> float:
+        """Seconds spent across every invocation of this pipeline object."""
+        return sum(t.seconds for t in self.cumulative_timings)
+
+    def trace_events(self) -> List[Dict[str, object]]:
+        """The current scope's timings as JSON-serializable events."""
+        return [t.as_dict() for t in self.timings]

@@ -41,9 +41,25 @@ def real_rows():
 
 class TestGeomean:
     def test_geomean_basics(self):
-        assert geomean([2.0, 8.0]) == 4.0
-        assert geomean([]) == 0.0
-        assert geomean([1.5]) == 1.5
+        assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+        assert geomean([1.5]) == pytest.approx(1.5)
+
+    def test_geomean_empty_raises(self):
+        # The old 0.0 fallback silently zeroed GM columns in reports.
+        with pytest.raises(ValueError):
+            geomean([])
+
+    def test_geomean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geomean([1.2, 0.0])
+        with pytest.raises(ValueError):
+            geomean([1.2, -3.0])
+
+    def test_geomean_long_sweep_no_overflow(self):
+        # A naive running product overflows to inf here; log-domain
+        # summation keeps the result finite and exact.
+        assert geomean([1e100] * 400) == pytest.approx(1e100, rel=1e-9)
+        assert geomean([1e-100] * 400) == pytest.approx(1e-100, rel=1e-9)
 
 
 class TestFigure7Shapes:

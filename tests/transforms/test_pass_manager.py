@@ -59,12 +59,71 @@ class TestPipeline:
         # Fixpoint reached: constants folded, dead mul gone.
         assert len(f.entry) == 3  # gep, store, ret
 
+    def test_timings_scoped_per_run(self):
+        # Regression: timings used to accumulate across run() calls, so
+        # total_seconds conflated every function ever run through the
+        # same pipeline object (skewing Table II's breakdown).
+        f = make_function()
+        pipeline = PassPipeline()
+        pipeline.add("fold", fold_constants)
+        pipeline.run(f)
+        pipeline.run(make_function())
+        assert len(pipeline.timings) == 1  # only the latest invocation
+        assert len(pipeline.cumulative_timings) == 2
+        assert pipeline.cumulative_seconds >= pipeline.total_seconds
+
+    def test_fixpoint_timings_cover_whole_invocation(self):
+        f = make_function()
+        pipeline = PassPipeline()
+        pipeline.add("fold", fold_constants)
+        pipeline.add("dce", eliminate_dead_code)
+        pipeline.run_to_fixpoint(f)
+        # More than one iteration ran, all within a single timing scope.
+        assert len(pipeline.timings) > 2
+        assert len(pipeline.timings) % 2 == 0
+        assert pipeline.timings == pipeline.cumulative_timings
+
+    def test_collect_ir_stats(self):
+        f = make_function()
+        pipeline = PassPipeline(collect_ir_stats=True)
+        pipeline.add("fold", fold_constants)
+        pipeline.add("dce", eliminate_dead_code)
+        pipeline.run(f)
+        fold, dce = pipeline.timings
+        assert fold.blocks_before == fold.blocks_after == 1
+        assert fold.instructions_after < fold.instructions_before
+        event = fold.as_dict()
+        assert event["pass"] == "fold" and event["changed"]
+        assert event["instructions_before"] > event["instructions_after"]
+
+    def test_ir_stats_off_by_default(self):
+        f = make_function()
+        pipeline = PassPipeline()
+        pipeline.add("fold", fold_constants)
+        pipeline.run(f)
+        timing = pipeline.timings[0]
+        assert timing.blocks_before is None
+        assert "blocks_before" not in timing.as_dict()
+
     def test_fixpoint_divergence_detected(self):
         f = make_function()
         pipeline = PassPipeline()
         pipeline.add("always-changes", lambda fn: True)
         with pytest.raises(RuntimeError, match="fixpoint"):
             pipeline.run_to_fixpoint(f, max_iterations=4)
+
+    def test_fixpoint_error_names_unstable_passes(self):
+        from repro.transforms import FixpointError
+
+        f = make_function()
+        pipeline = PassPipeline()
+        pipeline.add("stable", lambda fn: False)
+        pipeline.add("oscillator", lambda fn: True)
+        with pytest.raises(FixpointError) as excinfo:
+            pipeline.run_to_fixpoint(f, max_iterations=3)
+        assert excinfo.value.unstable_passes == ["oscillator"]
+        assert "oscillator" in str(excinfo.value)
+        assert "stable" not in str(excinfo.value).split("passes still")[1]
 
     def test_verify_mode_catches_broken_pass(self):
         f = make_function()
