@@ -14,7 +14,7 @@ import os
 
 import pytest
 
-from repro.evaluation import figure7, figure8
+from repro import figure7, figure8
 
 SWEEP_WORKERS = int(os.environ.get("REPRO_SWEEP_WORKERS", "1"))
 SWEEP_TIMEOUT = (float(os.environ["REPRO_SWEEP_TIMEOUT"])

@@ -15,10 +15,7 @@
 
 import pytest
 
-from repro.core import CFMConfig
-from repro.evaluation import compare, geomean
-from repro.kernels import ALL_BUILDERS
-from repro.simt import MachineConfig
+from repro import ALL_BUILDERS, CFMConfig, MachineConfig, compare, geomean
 
 KERNELS = ["SB3", "BIT", "PCM"]
 

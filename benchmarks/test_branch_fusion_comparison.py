@@ -13,16 +13,18 @@ five kernels under both transforms and asserts:
 
 import pytest
 
-from repro.baselines import fuse_branches
-from repro.evaluation.runner import compile_baseline, execute
-from repro.evaluation import compare, geomean
-from repro.ir import verify_function
-from repro.kernels import REAL_WORLD_BUILDERS
-from repro.transforms import (
+from repro import (
+    REAL_WORLD_BUILDERS,
+    compare,
+    compile_baseline,
     eliminate_dead_code,
+    execute,
+    fuse_branches,
+    geomean,
     optimize,
     simplify_cfg,
     speculate_hammocks,
+    verify_function,
 )
 
 BLOCKS = {"LUD": 16, "BIT": 32, "DCT": 64, "MS": 32, "PCM": 16}

@@ -9,7 +9,7 @@ instructions do not align perfectly (§VI-D).
 
 import pytest
 
-from repro.evaluation import best_improvement_rows, counters, format_counters
+from repro import best_improvement_rows, counters, format_counters
 
 
 @pytest.fixture(scope="module")

@@ -10,7 +10,7 @@ to see the regenerated figure data.
 
 import pytest
 
-from repro.evaluation import format_speedups, geomean
+from repro import format_speedups, geomean
 
 
 def test_figure7_regenerates(benchmark, fig7_data):

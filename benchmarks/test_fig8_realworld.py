@@ -9,7 +9,7 @@ GM-best ≥ GM.
 
 import pytest
 
-from repro.evaluation import format_figure8, geomean
+from repro import format_figure8, geomean
 
 
 def test_figure8_regenerates(benchmark, fig8_data):

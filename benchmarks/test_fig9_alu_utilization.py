@@ -8,7 +8,7 @@ drag it down (§VI-C).
 
 import pytest
 
-from repro.evaluation import best_improvement_rows, counters, format_counters
+from repro import best_improvement_rows, counters, format_counters
 
 
 @pytest.fixture(scope="module")

@@ -11,7 +11,7 @@ Paper's matrix:
 
 import pytest
 
-from repro.evaluation import format_table1, table1
+from repro import format_table1, table1
 
 
 @pytest.fixture(scope="module")

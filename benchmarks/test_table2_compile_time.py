@@ -20,7 +20,7 @@ profitability scan, so those two kernels top the overhead ranking.
 
 import pytest
 
-from repro.evaluation import format_table2, table2
+from repro import format_table2, table2
 
 
 @pytest.fixture(scope="module")

@@ -13,11 +13,10 @@ Run:  python examples/bitonic_sort.py [block_size]
 import random
 import sys
 
-from repro.core import run_cfm
-from repro.evaluation.runner import compile_baseline, compile_cfm
-from repro.ir import print_function
-from repro.kernels import build_bitonic
-from repro.simt import run_kernel
+from repro import compile_baseline, compile_cfm, print_function, run_kernel
+from repro import REAL_WORLD_BUILDERS
+
+build_bitonic = REAL_WORLD_BUILDERS["BIT"]
 
 
 def run(case, data):

@@ -10,8 +10,7 @@ Run:  python examples/block_size_sweep.py [kernel] [sizes...]
 
 import sys
 
-from repro.evaluation import compare, geomean
-from repro.kernels import ALL_BUILDERS
+from repro import ALL_BUILDERS, compare, geomean
 
 
 def main() -> None:

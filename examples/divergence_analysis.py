@@ -10,20 +10,18 @@ For a small divergent kernel this example prints:
 Run:  python examples/divergence_analysis.py
 """
 
-from repro.analysis import (
+from repro import (
     compute_divergence,
-    compute_postdominator_tree,
     compute_dominator_tree,
-    immediate_postdominator,
-)
-from repro.core import (
+    compute_postdominator_tree,
     find_meldable_region,
+    immediate_postdominator,
     most_profitable_pair,
+    parse_function,
     path_subgraphs,
+    print_function,
     simplify_path_subgraphs,
 )
-from repro.ir import print_function
-from repro.ir.parser import parse_function
 
 KERNEL = """
 define void @demo(i32 addrspace(1)* %a, i32 addrspace(1)* %b, i32 %n) {

@@ -7,9 +7,13 @@ Run:  python examples/divergence_profile.py [kernel] [block_size]
 
 import sys
 
-from repro.evaluation.runner import compile_baseline, compile_cfm
-from repro.kernels import ALL_BUILDERS
-from repro.simt import MachineConfig, run_kernel
+from repro import (
+    ALL_BUILDERS,
+    MachineConfig,
+    compile_baseline,
+    compile_cfm,
+    run_kernel,
+)
 
 
 def profile(case, label):

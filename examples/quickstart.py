@@ -2,24 +2,23 @@
 
 Builds the paper's motivating shape — an if-then-else whose two sides do
 similar work on different data — runs CFM on it, and compares simulated
-execution before and after.
+execution before and after.  Everything here comes from the top-level
+``repro`` facade: :func:`repro.meld` to run the melder in place, and
+:func:`repro.launch` to execute on the simulated GPU.
 
 Run:  python examples/quickstart.py
 """
 
-from repro.core import run_cfm
-from repro.ir import I32, ICmpPredicate, print_function
-from repro.kernels.dsl import GLOBAL_I32_PTR, KernelBuilder
-from repro.simt import run_kernel
+import repro
 
 
-def build_kernel() -> KernelBuilder:
+def build_kernel() -> repro.KernelBuilder:
     """if (tid % 2 == 0) a[tid] = 3*a[tid]+1; else b[tid] = 3*b[tid]+7;"""
-    k = KernelBuilder("quickstart", params=[("a", GLOBAL_I32_PTR),
-                                            ("b", GLOBAL_I32_PTR)])
+    k = repro.KernelBuilder("quickstart", params=[("a", repro.GLOBAL_I32_PTR),
+                                                  ("b", repro.GLOBAL_I32_PTR)])
     tid = k.thread_id()
     parity = k.and_(tid, k.const(1))
-    is_even = k.icmp(ICmpPredicate.EQ, parity, k.const(0))
+    is_even = k.icmp(repro.ICmpPredicate.EQ, parity, k.const(0))
 
     def even_side() -> None:
         value = k.load_at(k.param("a"), tid)
@@ -41,28 +40,26 @@ def main() -> None:
 
     baseline = build_kernel()
     print("=== original kernel ===")
-    print(print_function(baseline.function))
-    out_base, metrics_base = run_kernel(
-        baseline.module, "quickstart", grid_dim=1, block_dim=threads,
-        buffers={"a": list(data_a), "b": list(data_b)})
+    print(repro.print_function(baseline.function))
+    base = repro.launch(baseline, grid=1, block=threads,
+                        args={"a": list(data_a), "b": list(data_b)})
 
     melded = build_kernel()
-    stats = run_cfm(melded.function)
+    stats = repro.meld(melded)
     print("\n=== after control-flow melding ===")
-    print(print_function(melded.function))
+    print(repro.print_function(melded.function))
     print(f"\nmelds performed: {len(stats.melds)} "
           f"(profitability {stats.melds[0].profitability:.2f}, "
           f"{stats.melds[0].selects_inserted} selects)")
-    out_melded, metrics_melded = run_kernel(
-        melded.module, "quickstart", grid_dim=1, block_dim=threads,
-        buffers={"a": list(data_a), "b": list(data_b)})
+    after = repro.launch(melded, grid=1, block=threads,
+                         args={"a": list(data_a), "b": list(data_b)})
 
-    assert out_base == out_melded, "melding must not change results"
+    assert base.outputs == after.outputs, "melding must not change results"
     print("\n=== simulated execution (one warp of 32 threads) ===")
-    print(f"baseline: {metrics_base.summary()}")
-    print(f"melded:   {metrics_melded.summary()}")
-    print(f"\nspeedup: {metrics_base.cycles / metrics_melded.cycles:.2f}x, "
-          f"outputs identical: {out_base == out_melded}")
+    print(f"baseline: {base.metrics.summary()}")
+    print(f"melded:   {after.metrics.summary()}")
+    print(f"\nspeedup: {base.metrics.cycles / after.metrics.cycles:.2f}x, "
+          f"outputs identical: {base.outputs == after.outputs}")
 
 
 if __name__ == "__main__":

@@ -9,10 +9,13 @@ Run:  python examples/visualize_melding.py [kernel] [outdir]
 import os
 import sys
 
-from repro.core import run_cfm
-from repro.evaluation.runner import compile_baseline
-from repro.ir.dot import function_to_dot, melding_stages_to_dot
-from repro.kernels import ALL_BUILDERS
+from repro import (
+    ALL_BUILDERS,
+    compile_baseline,
+    function_to_dot,
+    melding_stages_to_dot,
+    run_cfm,
+)
 
 
 def main() -> None:

@@ -1,7 +1,17 @@
 """Reproduction of DARM/CFM: Control-Flow Melding for SIMT Thread
 Divergence Reduction (CGO 2022).
 
-Top-level layout:
+``import repro`` is the public API.  The three facade entry points —
+:func:`repro.compile`, :func:`repro.launch`, :func:`repro.meld` — cover
+the whole compile-and-run story, and everything else a client needs
+(the kernel DSL, the benchmark builders, the evaluation harness, the
+Table-I baselines, pass infrastructure, printer/parser/verifier) is
+re-exported here; ``__all__`` below is the supported surface.  Clients
+— including this repo's own ``examples/``, ``benchmarks/`` and the
+:mod:`repro.difftest` fuzzer — do not import ``repro.ir`` /
+``repro.core`` / ``repro.simt`` internals directly.
+
+Internal layout:
 
 * :mod:`repro.ir` — from-scratch SSA IR (the LLVM substitute);
 * :mod:`repro.analysis` — dominators, regions, loops, divergence analysis;
@@ -10,7 +20,146 @@ Top-level layout:
 * :mod:`repro.simt` — warp-level SIMT simulator with IPDOM reconvergence;
 * :mod:`repro.baselines` — tail merging and branch fusion comparators;
 * :mod:`repro.kernels` — the paper's benchmark kernels in a builder DSL;
-* :mod:`repro.evaluation` — harness regenerating every table and figure.
+* :mod:`repro.evaluation` — harness regenerating every table and figure;
+* :mod:`repro.difftest` — differential fuzzing of all of the above.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+from repro.ir import (
+    Function,
+    Module,
+    I1,
+    I32,
+    ICmpPredicate,
+    VerificationError,
+    parse_function,
+    parse_module,
+    print_function,
+    print_module,
+    verify_function,
+)
+from repro.ir.dot import function_to_dot, melding_stages_to_dot
+from repro.analysis import (
+    compute_divergence,
+    compute_dominator_tree,
+    compute_postdominator_tree,
+    immediate_postdominator,
+)
+from repro.transforms import (
+    FixpointError,
+    Pass,
+    PassPipeline,
+    PassResult,
+    PassTiming,
+    eliminate_dead_code,
+    late_pipeline,
+    o3_pipeline,
+    optimize,
+    simplify_cfg,
+    speculate_hammocks,
+)
+from repro.core import (
+    CFMConfig,
+    CFMPass,
+    CFMStats,
+    find_meldable_region,
+    most_profitable_pair,
+    path_subgraphs,
+    run_cfm,
+    simplify_path_subgraphs,
+)
+from repro.baselines import (
+    BranchFusionPass,
+    TailMergingPass,
+    fuse_branches,
+    merge_tails,
+)
+from repro.kernels import (
+    ALL_BUILDERS,
+    EXTRA_BUILDERS,
+    GLOBAL_I32_PTR,
+    REAL_WORLD_BUILDERS,
+    SHARED_I32_PTR,
+    SYNTHETIC_BUILDERS,
+    KernelBuilder,
+    KernelCase,
+)
+from repro.simt import (
+    DEFAULT_CONFIG,
+    GPU,
+    Buffer,
+    MachineConfig,
+    Metrics,
+    SimulationError,
+    run_kernel,
+)
+from repro.evaluation import (
+    Comparison,
+    CompileCache,
+    best_improvement_rows,
+    compare,
+    compile_baseline,
+    compile_cfm,
+    counters,
+    execute,
+    figure7,
+    figure8,
+    figures9_and_10,
+    format_counters,
+    format_figure8,
+    format_speedups,
+    format_table1,
+    format_table2,
+    geomean,
+    run_sweep,
+    table1,
+    table2,
+)
+from repro.facade import (
+    COMPILE_LEVELS,
+    CompileReport,
+    LaunchResult,
+    compile,
+    launch,
+    meld,
+)
+
+__all__ = [
+    # facade verbs
+    "compile", "launch", "meld",
+    "CompileReport", "LaunchResult", "COMPILE_LEVELS",
+    # IR essentials
+    "Function", "Module", "I1", "I32", "ICmpPredicate",
+    "print_function", "print_module", "parse_function", "parse_module",
+    "verify_function", "VerificationError",
+    "function_to_dot", "melding_stages_to_dot",
+    # analyses
+    "compute_divergence", "compute_dominator_tree",
+    "compute_postdominator_tree", "immediate_postdominator",
+    # pass infrastructure & standard transforms
+    "Pass", "PassResult", "PassPipeline", "PassTiming", "FixpointError",
+    "optimize", "o3_pipeline", "late_pipeline",
+    "simplify_cfg", "speculate_hammocks", "eliminate_dead_code",
+    # CFM
+    "CFMConfig", "CFMPass", "CFMStats", "run_cfm",
+    "find_meldable_region", "most_profitable_pair",
+    "path_subgraphs", "simplify_path_subgraphs",
+    # baselines
+    "merge_tails", "fuse_branches", "TailMergingPass", "BranchFusionPass",
+    # kernels & DSL
+    "KernelBuilder", "KernelCase", "GLOBAL_I32_PTR", "SHARED_I32_PTR",
+    "ALL_BUILDERS", "SYNTHETIC_BUILDERS", "REAL_WORLD_BUILDERS",
+    "EXTRA_BUILDERS",
+    # simulator
+    "GPU", "Buffer", "run_kernel", "MachineConfig", "Metrics",
+    "SimulationError", "DEFAULT_CONFIG",
+    # evaluation harness
+    "compare", "Comparison", "CompileCache", "compile_baseline",
+    "compile_cfm", "execute", "geomean", "run_sweep",
+    "table1", "table2", "figure7", "figure8", "figures9_and_10",
+    "counters", "best_improvement_rows",
+    "format_table1", "format_table2", "format_speedups", "format_figure8",
+    "format_counters",
+    "__version__",
+]

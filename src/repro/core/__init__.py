@@ -44,7 +44,7 @@ from .subgraph_align import (
 from .instr_align import InstructionPair, align_instructions, alignment_saved_cycles
 from .melder import MeldResult, Melder, Side
 from .unpredication import unpredicate
-from .pass_ import CFMConfig, CFMStats, MeldRecord, run_cfm
+from .pass_ import CFMConfig, CFMPass, CFMStats, MeldRecord, run_cfm
 
 __all__ = [
     "AlignedPair", "AlignmentResult", "needleman_wunsch", "smith_waterman",
@@ -60,5 +60,5 @@ __all__ = [
     "InstructionPair", "align_instructions", "alignment_saved_cycles",
     "MeldResult", "Melder", "Side",
     "unpredicate",
-    "CFMConfig", "CFMStats", "MeldRecord", "run_cfm",
+    "CFMConfig", "CFMPass", "CFMStats", "MeldRecord", "run_cfm",
 ]

@@ -28,6 +28,7 @@ from repro.transforms.simplifycfg import (
     remove_trivial_phis,
     remove_unreachable_blocks,
 )
+from repro.transforms.pass_manager import Pass, PassResult
 from repro.transforms.ssa_repair import repair_ssa
 
 from .meldable import MeldableRegion, find_meldable_region
@@ -98,19 +99,46 @@ class CFMStats:
         return sum(m.instructions_melded for m in self.melds)
 
 
+class CFMPass(Pass):
+    """Control-flow melding as a standard :class:`~repro.transforms.Pass`.
+
+    This is the canonical entry point: a :class:`CFMPass` drops into any
+    :class:`~repro.transforms.PassPipeline` next to the standard
+    transforms and the Table-I baselines, and its :class:`CFMStats` ride
+    along in the returned :class:`PassResult` (also kept on
+    :attr:`stats` for the most recent run).
+    """
+
+    name = "cfm"
+
+    def __init__(self, config: Optional[CFMConfig] = None) -> None:
+        self.config = config or CFMConfig()
+        #: statistics of the most recent :meth:`run`
+        self.stats: Optional[CFMStats] = None
+
+    def run(self, function: Function) -> PassResult:
+        """Apply control-flow melding to ``function`` until fixpoint."""
+        stats = CFMStats()
+        start = time.perf_counter()
+
+        for _ in range(self.config.max_iterations):
+            stats.iterations += 1
+            if not _meld_one(function, self.config, stats):
+                break
+
+        stats.seconds = time.perf_counter() - start
+        self.stats = stats
+        return PassResult(changed=stats.changed, stats=stats)
+
+
 def run_cfm(function: Function, config: Optional[CFMConfig] = None) -> CFMStats:
-    """Apply control-flow melding to ``function`` until fixpoint."""
-    config = config or CFMConfig()
-    stats = CFMStats()
-    start = time.perf_counter()
+    """Apply control-flow melding to ``function`` until fixpoint.
 
-    for _ in range(config.max_iterations):
-        stats.iterations += 1
-        if not _meld_one(function, config, stats):
-            break
-
-    stats.seconds = time.perf_counter() - start
-    return stats
+    .. deprecated:: 1.1
+       Thin alias kept for existing callers; new code should run
+       :class:`CFMPass` (directly or inside a ``PassPipeline``).
+    """
+    return CFMPass(config).run(function).stats
 
 
 def _meld_one(function: Function, config: CFMConfig, stats: CFMStats) -> bool:

@@ -1,0 +1,93 @@
+"""Deliberate compiler bugs, injectable on demand.
+
+Mutation testing for the differential harness itself: each entry here is
+a *named, reversible* sabotage of one transform, applied as a context
+manager.  Running the fuzzer under an injected bug must surface failures
+— if it doesn't, the oracle has a blind spot.  The test suite asserts
+both that each bug is caught and that the shrinker reduces the witness
+to a small repro.
+
+The bugs are semantic classics for this codebase:
+
+``swap-select``
+    The melder's value blending (§IV-B/Fig. 4) builds
+    ``select cond, a, b`` to choose between the true-path and false-path
+    values of a meld.  The bug swaps the arms, so every divergent-value
+    merge picks the *other* path's value — a silent miscompile that only
+    a differential run notices (the IR stays perfectly well-formed).
+
+``drop-undef-phi``
+    The melder's PreProcess construction (Fig. 4 of the paper) gives
+    every entry φ an ``undef`` incoming value for edges arriving from
+    the *other* melded path.  The bug drops that step, leaving entry φs
+    whose incoming blocks no longer cover all predecessors — malformed
+    IR, caught by ``verify_function`` via the pipeline's
+    ``verify_after_each`` hook (a *verifier-class* failure attributed to
+    the guilty pass, rather than an output mismatch).
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Dict, Iterator
+
+import repro.core.melder as _melder
+from repro.ir.instructions import Select
+
+
+def _swapped_select(condition, true_value, false_value, name=""):
+    return Select(condition, false_value, true_value, name)
+
+
+@contextlib.contextmanager
+def _inject_swap_select() -> Iterator[None]:
+    original = _melder.Select
+    _melder.Select = _swapped_select
+    try:
+        yield
+    finally:
+        _melder.Select = original
+
+
+class _WithoutExternalPreds:
+    """Proxy for a SESESubgraph that hides its external predecessors."""
+
+    def __init__(self, subgraph):
+        self._subgraph = subgraph
+
+    def __getattr__(self, attr):
+        return getattr(self._subgraph, attr)
+
+    @property
+    def external_preds(self):
+        return ()
+
+
+@contextlib.contextmanager
+def _inject_drop_undef_phi() -> Iterator[None]:
+    original = _melder.Melder._wire_phi
+
+    def buggy(self, clone, phi, own, other):
+        return original(self, clone, phi, own, _WithoutExternalPreds(other))
+
+    _melder.Melder._wire_phi = buggy
+    try:
+        yield
+    finally:
+        _melder.Melder._wire_phi = original
+
+
+#: name -> context manager factory; ``with BUGS[name]():`` activates it
+BUGS: Dict[str, Callable[[], "contextlib.AbstractContextManager[None]"]] = {
+    "swap-select": _inject_swap_select,
+    "drop-undef-phi": _inject_drop_undef_phi,
+}
+
+
+def inject(name: str) -> "contextlib.AbstractContextManager[None]":
+    """Context manager that activates the named bug while entered."""
+    try:
+        return BUGS[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown bug {name!r} (available: {sorted(BUGS)})") from None

@@ -1,0 +1,176 @@
+"""``python -m repro.difftest`` — the differential fuzzing campaign.
+
+Generates seeded random divergent kernels, runs each through the full
+arm matrix (no-opt / -O3 / -O3+CFM / tail-merging / branch-fusion) with
+per-pass IR verification, and diffs device memory bit-for-bit.  Failing
+kernels are delta-debugged down to minimal DSL programs and written to
+the corpus as JSON entries plus standalone repro scripts.
+
+Typical invocations::
+
+    python -m repro.difftest --seeds 200            # fixed-count sweep
+    python -m repro.difftest --budget 60            # time-boxed (CI)
+    python -m repro.difftest --seeds 50 --inject-bug swap-select
+
+Exit status: 0 when every kernel agrees across every arm, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .bugs import BUGS, inject
+from .corpus import write_entry
+from .generator import KernelSpec, generate_spec
+from .oracle import ALL_ARMS, Verdict, run_oracle
+from .shrink import shrink
+
+
+def _parse_args(argv: Optional[Sequence[str]]) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.difftest",
+        description="Differential fuzzing of the CFM compiler pipelines.")
+    parser.add_argument("--seeds", type=int, default=None, metavar="N",
+                        help="number of generator seeds to test "
+                             "(default: 100, or unlimited with --budget)")
+    parser.add_argument("--budget", type=float, default=None, metavar="S",
+                        help="stop after S seconds (checked between seeds)")
+    parser.add_argument("--base-seed", type=int, default=0,
+                        help="first generator seed (default: 0)")
+    parser.add_argument("--block-size", type=int, default=16,
+                        help="threads per block for generated kernels")
+    parser.add_argument("--grid", type=int, default=2,
+                        help="blocks per launch for generated kernels")
+    parser.add_argument("--inputs", type=int, default=2, metavar="K",
+                        help="input sets per kernel (default: 2)")
+    parser.add_argument("--arms", default=",".join(ALL_ARMS),
+                        help=f"comma-separated arm subset "
+                             f"(default: {','.join(ALL_ARMS)})")
+    parser.add_argument("--corpus-dir", type=Path,
+                        default=Path("difftest-corpus"),
+                        help="where failing repros are written")
+    parser.add_argument("--no-shrink", action="store_true",
+                        help="record failures without minimizing them")
+    parser.add_argument("--inject-bug", choices=sorted(BUGS), default=None,
+                        help="sabotage a transform for mutation testing")
+    parser.add_argument("--quiet", action="store_true",
+                        help="only print the final summary")
+    args = parser.parse_args(argv)
+    if args.seeds is None and args.budget is None:
+        args.seeds = 100
+    return args
+
+
+def _progress(quiet: bool, text: str) -> None:
+    if not quiet:
+        print(text, flush=True)
+
+
+def run_campaign(argv: Optional[Sequence[str]] = None) -> int:
+    args = _parse_args(argv)
+    arms = tuple(a.strip() for a in args.arms.split(",") if a.strip())
+    input_seeds = tuple(range(args.inputs))
+    deadline = (time.perf_counter() + args.budget
+                if args.budget is not None else None)
+
+    bug_scope = inject(args.inject_bug) if args.inject_bug else None
+    if bug_scope is not None:
+        bug_scope.__enter__()
+    try:
+        return _campaign_body(args, arms, input_seeds, deadline)
+    finally:
+        if bug_scope is not None:
+            bug_scope.__exit__(None, None, None)
+
+
+def _campaign_body(args: argparse.Namespace, arms: Sequence[str],
+                   input_seeds: Sequence[int],
+                   deadline: Optional[float]) -> int:
+    tested = 0
+    failing: List[Verdict] = []
+    total_melds = 0
+    verified_passes = 0
+    start = time.perf_counter()
+
+    seed = args.base_seed
+    while True:
+        if args.seeds is not None and tested >= args.seeds:
+            break
+        if deadline is not None and time.perf_counter() >= deadline:
+            break
+        spec = generate_spec(seed, block_dim=args.block_size,
+                             grid_dim=args.grid)
+        verdict = run_oracle(spec, arms=arms, input_seeds=input_seeds)
+        tested += 1
+        total_melds += sum(r.melds for r in verdict.arms.values())
+        verified_passes += sum(r.verified_passes
+                               for r in verdict.arms.values())
+        if not verdict.ok:
+            _progress(args.quiet,
+                      f"seed {seed}: FAIL — {verdict.failures[0]}")
+            _record_failure(args, spec, verdict, arms, input_seeds)
+            failing.append(verdict)
+        elif tested % 25 == 0:
+            _progress(args.quiet,
+                      f"  ... {tested} kernels ok "
+                      f"({time.perf_counter() - start:.1f}s)")
+        seed += 1
+
+    elapsed = time.perf_counter() - start
+    mismatches = sum(v.mismatches for v in failing)
+    verifier_failures = sum(v.verifier_failures for v in failing)
+    crashes = sum(1 for v in failing
+                  for f in v.failures if f.kind == "crash")
+    print(f"difftest: {tested} kernels x {len(arms)} arms in {elapsed:.1f}s "
+          f"({verified_passes} per-pass verifications, "
+          f"{total_melds} melds)")
+    print(f"  output mismatches:  {mismatches}")
+    print(f"  verifier failures:  {verifier_failures}")
+    print(f"  crashes:            {crashes}")
+    if failing:
+        print(f"  repros written to:  {args.corpus_dir}/")
+        return 1
+    print("  all arms agree bit-for-bit")
+    return 0
+
+
+def _record_failure(args: argparse.Namespace, spec: KernelSpec,
+                    verdict: Verdict, arms: Sequence[str],
+                    input_seeds: Sequence[int]) -> None:
+    original_statements = spec.statement_count()
+    final_spec, final_verdict = spec, verdict
+
+    if not args.no_shrink:
+        def is_failing(candidate: KernelSpec) -> bool:
+            return not run_oracle(candidate, arms=arms,
+                                  input_seeds=input_seeds).ok
+
+        result = shrink(spec, is_failing)
+        final_spec = result.spec
+        final_verdict = run_oracle(final_spec, arms=arms,
+                                   input_seeds=input_seeds)
+        if final_verdict.ok:  # paranoia: never record a passing "repro"
+            final_spec, final_verdict = spec, verdict
+        else:
+            _progress(args.quiet,
+                      f"  shrunk {result.original_statements} -> "
+                      f"{result.statements} statements "
+                      f"({result.attempts} attempts)")
+
+    path = write_entry(args.corpus_dir, final_spec, final_verdict,
+                       original_statements=original_statements,
+                       input_seeds=input_seeds,
+                       injected_bug=args.inject_bug)
+    _progress(args.quiet, f"  wrote {path}")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    return run_campaign(argv)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,257 @@
+"""The differential oracle: one kernel, five pipelines, one verdict.
+
+Each generated kernel is compiled under every *arm* of the matrix —
+
+==============  ============================================================
+arm             pipeline
+==============  ============================================================
+``noopt``       DSL output run as-is (the reference semantics)
+``o3``          the -O3 fixpoint pipeline
+``o3-cfm``      -O3, then the CFM melding pass + §V-A late cleanups
+``o3-tail``     -O3, then tail merging + late cleanups
+``o3-bf``       -O3, then branch fusion + late cleanups
+==============  ============================================================
+
+— with ``verify_function`` run after **every** pass (the
+``verify_after_each`` hook of :class:`~repro.transforms.PassPipeline`),
+then launched on the SIMT machine over several deterministic input sets.
+Device memory is compared bit-for-bit against the ``noopt`` arm; any
+difference, verifier error or simulator trap becomes a
+:class:`Failure` carrying the arm, the guilty pass (when known) and the
+first diverging buffer index.
+
+One :class:`~repro.simt.GPU` per arm is reused across all input sets via
+``GPU.reset()``, so a long fuzzing run touches the device-state
+lifecycle the same way a real host application would.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import repro
+from repro import (
+    BranchFusionPass,
+    CFMConfig,
+    CFMPass,
+    GPU,
+    PassPipeline,
+    TailMergingPass,
+    late_pipeline,
+    o3_pipeline,
+    verify_function,
+)
+
+from .generator import KernelSpec, build_kernel, make_inputs
+
+#: every arm of the matrix, in reporting order
+ALL_ARMS = ("noopt", "o3", "o3-cfm", "o3-tail", "o3-bf")
+#: arms that exercise a divergence-reduction pass on top of -O3
+MELDING_ARMS = ("o3-cfm", "o3-tail", "o3-bf")
+
+
+@dataclass
+class Failure:
+    """One way one arm disagreed with the reference."""
+
+    arm: str
+    #: "mismatch" | "verifier" | "crash"
+    kind: str
+    detail: str
+    #: pass that broke the IR (verifier failures only)
+    pass_name: Optional[str] = None
+    input_seed: Optional[int] = None
+
+    def __str__(self) -> str:
+        where = f" after pass {self.pass_name!r}" if self.pass_name else ""
+        inputs = (f" (input seed {self.input_seed})"
+                  if self.input_seed is not None else "")
+        return f"[{self.arm}] {self.kind}{where}{inputs}: {self.detail}"
+
+
+@dataclass
+class ArmReport:
+    """Compile + run outcome of one arm on one kernel."""
+
+    arm: str
+    verified_passes: int = 0
+    melds: int = 0
+    outputs: Optional[List[Dict[str, List[int]]]] = None
+    failure: Optional[Failure] = None
+    #: the compiled kernel (present when compilation succeeded)
+    builder: Optional[object] = field(default=None, repr=False)
+
+
+@dataclass
+class Verdict:
+    """Everything the oracle learned about one kernel spec."""
+
+    spec: KernelSpec
+    arms: Dict[str, ArmReport] = field(default_factory=dict)
+    failures: List[Failure] = field(default_factory=list)
+    seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    @property
+    def mismatches(self) -> int:
+        return sum(1 for f in self.failures if f.kind == "mismatch")
+
+    @property
+    def verifier_failures(self) -> int:
+        return sum(1 for f in self.failures if f.kind == "verifier")
+
+
+class _PassVerifier:
+    """``verify_after_each`` hook that counts and attributes failures."""
+
+    def __init__(self) -> None:
+        self.count = 0
+
+    def __call__(self, pass_name: str, function) -> None:
+        self.count += 1
+        try:
+            verify_function(function)
+        except Exception as exc:
+            raise PassVerificationError(pass_name, exc) from exc
+
+
+class PassVerificationError(Exception):
+    """verify_function failed right after ``pass_name`` ran."""
+
+    def __init__(self, pass_name: str, cause: Exception) -> None:
+        self.pass_name = pass_name
+        super().__init__(f"IR invalid after pass {pass_name!r}: {cause}")
+
+
+def _arm_pipeline(arm: str, hook: _PassVerifier,
+                  cfm_config: Optional[CFMConfig]) -> List[PassPipeline]:
+    """The pass pipelines one arm runs, in order (empty for ``noopt``)."""
+    if arm == "noopt":
+        return []
+    o3 = o3_pipeline()
+    o3.verify_after_each = hook
+    if arm == "o3":
+        return [o3]
+    reducer = {
+        "o3-cfm": lambda: CFMPass(cfm_config),
+        "o3-tail": TailMergingPass,
+        "o3-bf": BranchFusionPass,
+    }[arm]()
+    # One pipeline hosts the reducer and the late cleanups through the
+    # same Pass surface — the point of the unified pass API.
+    stage2 = PassPipeline([reducer], verify_after_each=hook)
+    for late_pass in late_pipeline().passes:
+        stage2.add(late_pass)
+    return [o3, stage2]
+
+
+def _compile_arm(arm: str, spec: KernelSpec,
+                 cfm_config: Optional[CFMConfig]) -> ArmReport:
+    report = ArmReport(arm=arm)
+    hook = _PassVerifier()
+    builder = build_kernel(spec)
+    function = builder.function
+    try:
+        pipelines = _arm_pipeline(arm, hook, cfm_config)
+        for index, pipeline in enumerate(pipelines):
+            if index == 0:
+                pipeline.run_to_fixpoint(function)  # the -O3 stage
+            else:
+                pipeline.run(function)
+        verify_function(function)
+    except PassVerificationError as exc:
+        report.failure = Failure(arm=arm, kind="verifier", detail=str(exc),
+                                 pass_name=exc.pass_name)
+        return report
+    except Exception as exc:
+        report.failure = Failure(arm=arm, kind="crash",
+                                 detail=f"{type(exc).__name__}: {exc}")
+        return report
+    report.verified_passes = hook.count
+    if arm == "o3-cfm":
+        cfm = next(p for pl in pipelines for p in pl.passes
+                   if isinstance(p, CFMPass))
+        report.melds = len(cfm.stats.melds) if cfm.stats else 0
+    report.builder = builder
+    return report
+
+
+def _run_arm(report: ArmReport, spec: KernelSpec,
+             input_seeds: Sequence[int]) -> None:
+    """Launch one compiled arm over every input set, reusing one GPU."""
+    builder = report.builder
+    outputs: List[Dict[str, List[int]]] = []
+    with GPU(builder.module) as gpu:
+        for input_seed in input_seeds:
+            args = make_inputs(spec, input_seed)
+            try:
+                result = repro.launch(builder.module, spec.grid_dim,
+                                      spec.block_dim, args, gpu=gpu)
+            except Exception as exc:
+                report.failure = Failure(
+                    arm=report.arm, kind="crash", input_seed=input_seed,
+                    detail=f"{type(exc).__name__}: {exc}")
+                return
+            outputs.append(result.outputs)
+            gpu.reset()
+    report.outputs = outputs
+
+
+def _first_difference(reference: Dict[str, List[int]],
+                      candidate: Dict[str, List[int]]) -> str:
+    for name in sorted(reference):
+        ref, got = reference[name], candidate.get(name)
+        if got == ref:
+            continue
+        for i, (r, g) in enumerate(zip(ref, got or [])):
+            if r != g:
+                return f"buffer {name!r}[{i}]: expected {r}, got {g}"
+        return f"buffer {name!r}: length {len(ref)} vs {len(got or [])}"
+    return "outputs differ"
+
+
+def run_oracle(spec: KernelSpec,
+               arms: Sequence[str] = ALL_ARMS,
+               input_seeds: Sequence[int] = (0, 1),
+               cfm_config: Optional[CFMConfig] = None) -> Verdict:
+    """Compile and run ``spec`` under every arm; diff against ``noopt``."""
+    unknown = set(arms) - set(ALL_ARMS)
+    if unknown:
+        raise ValueError(f"unknown arms: {sorted(unknown)} "
+                         f"(available: {list(ALL_ARMS)})")
+    start = time.perf_counter()
+    verdict = Verdict(spec=spec)
+    arm_list = list(arms)
+    if "noopt" not in arm_list:
+        arm_list.insert(0, "noopt")
+
+    for arm in arm_list:
+        report = _compile_arm(arm, spec, cfm_config)
+        if report.failure is None:
+            _run_arm(report, spec, input_seeds)
+        verdict.arms[arm] = report
+        if report.failure is not None:
+            verdict.failures.append(report.failure)
+
+    reference = verdict.arms["noopt"]
+    if reference.outputs is not None:
+        for arm in arm_list:
+            report = verdict.arms[arm]
+            if arm == "noopt" or report.outputs is None:
+                continue
+            for input_seed, ref, got in zip(input_seeds, reference.outputs,
+                                            report.outputs):
+                if got != ref:
+                    failure = Failure(
+                        arm=arm, kind="mismatch", input_seed=input_seed,
+                        detail=_first_difference(ref, got))
+                    report.failure = report.failure or failure
+                    verdict.failures.append(failure)
+
+    verdict.seconds = time.perf_counter() - start
+    return verdict

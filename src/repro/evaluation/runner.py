@@ -29,10 +29,8 @@ from repro.simt import MachineConfig, Metrics, run_kernel
 from repro.transforms import (
     PassPipeline,
     PassTiming,
-    eliminate_dead_code,
+    late_pipeline,
     optimize,
-    simplify_cfg,
-    speculate_hammocks,
 )
 
 
@@ -164,15 +162,7 @@ def compile_cfm(case: KernelCase, config: Optional[CFMConfig] = None,
         cfm_timing.blocks_after, cfm_timing.instructions_after = \
             PassPipeline._ir_size(case.function)
     timings.append(cfm_timing)
-    # The "rest of the compilation flow" — late SimplifyCFG and the
-    # aggressive if-conversion that §IV-G notes re-predicates pure
-    # unpredicated blocks.
-    late = PassPipeline([
-        ("late-simplifycfg", simplify_cfg),
-        ("late-speculate", speculate_hammocks),
-        ("late-simplifycfg2", simplify_cfg),
-        ("late-dce", eliminate_dead_code),
-    ], collect_ir_stats=collect_ir_stats)
+    late = late_pipeline(collect_ir_stats=collect_ir_stats)
     late.run(case.function)
     timings.extend(late.timings)
     cfm_seconds = time.perf_counter() - start

@@ -1,0 +1,169 @@
+"""The public facade: :func:`compile`, :func:`launch`, :func:`meld`.
+
+Everything an external user (or an internal client like the differential
+tester, the examples and the benchmark suite) needs is reachable from
+``import repro`` — no deep imports into ``repro.ir`` / ``repro.core`` /
+``repro.simt`` internals required::
+
+    import repro
+
+    k = repro.KernelBuilder("scale", params=[("data", repro.GLOBAL_I32_PTR)])
+    ...build the kernel...
+    report = repro.compile(k, level="O3", cfm=True)
+    result = repro.launch(k.module, grid=1, block=32, args={"data": values})
+
+Each facade entry point accepts any "kernel-like" object — a raw
+:class:`~repro.ir.Function`, a :class:`~repro.kernels.KernelBuilder`, or
+a :class:`~repro.kernels.KernelCase` — and transforms the underlying IR
+in place, mirroring how a real driver owns the module it compiles.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.core import CFMConfig, CFMPass, CFMStats
+from repro.ir import Function, Module, Type, I32, verify_function
+from repro.kernels.common import KernelCase
+from repro.kernels.dsl import KernelBuilder
+from repro.simt import GPU, Buffer, MachineConfig, Metrics
+from repro.transforms import PassTiming, late_pipeline, optimize
+
+KernelLike = Union[Function, KernelBuilder, KernelCase]
+
+#: recognized ``compile(level=...)`` values
+COMPILE_LEVELS = ("none", "O3")
+
+
+def _as_function(kernel: KernelLike) -> Function:
+    if isinstance(kernel, Function):
+        return kernel
+    if isinstance(kernel, (KernelBuilder, KernelCase)):
+        return kernel.function
+    raise TypeError(
+        f"expected a Function, KernelBuilder or KernelCase, got {kernel!r}")
+
+
+def _as_module(module: Union[Module, KernelLike]) -> Module:
+    if isinstance(module, Module):
+        return module
+    if isinstance(module, (KernelBuilder, KernelCase)):
+        return module.module
+    if isinstance(module, Function):
+        if module.module is None:
+            raise ValueError(f"function @{module.name} belongs to no module")
+        return module.module
+    raise TypeError(f"expected a Module or kernel-like object, got {module!r}")
+
+
+@dataclass
+class CompileReport:
+    """Outcome of one :func:`compile` call."""
+
+    function: Function
+    level: str
+    #: melding statistics when ``cfm`` was requested, else None
+    cfm_stats: Optional[CFMStats] = None
+    seconds: float = 0.0
+    #: per-pass executions, in order (O3 fixpoint, then CFM + late cleanups)
+    pass_timings: List[PassTiming] = field(default_factory=list)
+
+    @property
+    def melds(self) -> int:
+        return len(self.cfm_stats.melds) if self.cfm_stats else 0
+
+
+def compile(kernel: KernelLike, level: str = "O3",
+            cfm: Union[bool, CFMConfig] = False,
+            verify: bool = True) -> CompileReport:
+    """Compile ``kernel`` in place and return a :class:`CompileReport`.
+
+    ``level="O3"`` runs the baseline pipeline (the paper's HIPCC ``-O3``
+    stand-in) to a fixpoint; ``level="none"`` leaves the IR untouched.
+    ``cfm=True`` (or a :class:`CFMConfig` for tuned melding) then inserts
+    the CFM pass plus the §V-A late cleanups — exactly the evaluation
+    harness's ``-O3 + CFM`` arm.
+    """
+    if level not in COMPILE_LEVELS:
+        raise ValueError(
+            f"unknown level {level!r}; expected one of {COMPILE_LEVELS}")
+    function = _as_function(kernel)
+    timings: List[PassTiming] = []
+    stats: Optional[CFMStats] = None
+
+    start = time.perf_counter()
+    if level == "O3":
+        pipeline = optimize(function)
+        timings.extend(pipeline.timings)
+    if cfm:
+        config = cfm if isinstance(cfm, CFMConfig) else None
+        cfm_pass = CFMPass(config)
+        stats = cfm_pass.run(function).stats
+        timings.append(PassTiming(cfm_pass.name, stats.seconds, stats.changed))
+        late = late_pipeline()
+        late.run(function)
+        timings.extend(late.timings)
+    seconds = time.perf_counter() - start
+
+    if verify:
+        verify_function(function)
+    return CompileReport(function=function, level=level, cfm_stats=stats,
+                         seconds=seconds, pass_timings=timings)
+
+
+@dataclass
+class LaunchResult:
+    """Outcome of one :func:`launch`: final buffer contents + counters."""
+
+    outputs: Dict[str, List[int]]
+    metrics: Metrics
+
+
+def launch(module: Union[Module, KernelLike], grid: int, block: int,
+           args: Mapping[str, object],
+           kernel: Optional[str] = None,
+           machine: Optional[MachineConfig] = None,
+           element_types: Optional[Mapping[str, Type]] = None,
+           gpu: Optional[GPU] = None) -> LaunchResult:
+    """Launch a kernel over ``grid`` blocks of ``block`` threads.
+
+    ``args`` maps parameter names to scalars (Python ints/floats) or
+    buffer contents (any non-string sequence; copied to device memory and
+    read back into :attr:`LaunchResult.outputs`).  ``kernel`` defaults to
+    the module's only function.  Pass an existing :class:`GPU` (see
+    ``GPU.reset``) to reuse one machine across many launches.
+    """
+    module = _as_module(module)
+    if kernel is None:
+        names = list(module.functions)
+        if len(names) != 1:
+            raise ValueError(
+                f"module has {len(names)} kernels ({', '.join(names)}); "
+                f"pass kernel=<name>")
+        kernel = names[0]
+
+    device = gpu if gpu is not None else GPU(module, machine)
+    bound: Dict[str, object] = {}
+    handles: Dict[str, Buffer] = {}
+    for name, value in args.items():
+        if isinstance(value, Buffer):
+            bound[name] = value
+        elif isinstance(value, (str, bytes)):
+            raise TypeError(f"argument {name!r} must be a scalar or sequence")
+        elif isinstance(value, Sequence):
+            etype = (element_types or {}).get(name, I32)
+            handles[name] = device.alloc(name, etype, list(value))
+            bound[name] = handles[name]
+        else:
+            bound[name] = value
+    metrics = device.launch(kernel, grid, block, bound)
+    outputs = {name: handle.data for name, handle in handles.items()}
+    return LaunchResult(outputs=outputs, metrics=metrics)
+
+
+def meld(kernel: KernelLike, config: Optional[CFMConfig] = None) -> CFMStats:
+    """Run the paper's CFM pass (alone, no -O3 / late cleanups) on
+    ``kernel`` in place and return its :class:`CFMStats`."""
+    return CFMPass(config).run(_as_function(kernel)).stats

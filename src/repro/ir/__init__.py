@@ -50,6 +50,7 @@ from .block import BasicBlock
 from .function import Function, Module, GlobalVariable
 from .builder import IRBuilder
 from .printer import print_function, print_module, format_instruction
+from .parser import parse_function, parse_module
 from .verifier import VerificationError, verify_function, is_well_formed
 
 __all__ = [
@@ -63,5 +64,6 @@ __all__ = [
     "BasicBlock", "Function", "Module", "GlobalVariable",
     "IRBuilder",
     "print_function", "print_module", "format_instruction",
+    "parse_function", "parse_module",
     "VerificationError", "verify_function", "is_well_formed",
 ]

@@ -267,8 +267,16 @@ def parse_module(text: str) -> Module:
     lines = text.splitlines()
     i = 0
     while i < len(lines):
-        line = lines[i].split(";")[0].strip() if not lines[i].strip().startswith(";") \
-            else ""
+        stripped = lines[i].strip()
+        if stripped.startswith(";"):
+            # The printer emits the module name as a leading comment;
+            # recover it so print -> parse -> print is a true fixpoint.
+            header = re.match(r";\s*module\s+(\S+)\s*$", stripped)
+            if header:
+                module.name = header.group(1)
+            line = ""
+        else:
+            line = stripped.split(";")[0].strip()
         if not line:
             i += 1
             continue

@@ -62,12 +62,41 @@ class Buffer:
 
 
 class GPU:
-    """A simulated GPU bound to one module."""
+    """A simulated GPU bound to one module.
+
+    A GPU can be reused across many launches (a long fuzzing run drives
+    thousands through one machine): :meth:`reset` drops every host
+    allocation and per-block shared window so no device-memory state
+    leaks from one experiment into the next, and the context-manager
+    form resets on exit::
+
+        with GPU(module) as gpu:
+            buf = gpu.alloc("data", I32, values)
+            gpu.launch("kernel", grid, block, {"data": buf})
+    """
 
     def __init__(self, module: Module, config: Optional[MachineConfig] = None) -> None:
         self.module = module
         self.config = config or DEFAULT_CONFIG
         self.memory = DeviceMemory(module)
+        #: launches since construction (reset() does not clear it)
+        self.launch_count = 0
+
+    def reset(self) -> None:
+        """Return the device to its just-constructed state.
+
+        Host buffers, module globals and every block's shared window are
+        reallocated from the module's declarations; outstanding
+        :class:`Buffer` handles from before the reset go stale and must
+        not be passed to later launches.
+        """
+        self.memory = DeviceMemory(self.module)
+
+    def __enter__(self) -> "GPU":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.reset()
 
     def alloc(self, name: str, element_type: Type, init: Union[int, Sequence]) -> Buffer:
         """Allocate a global buffer; ``init`` is a size or initial data."""
@@ -93,6 +122,7 @@ class GPU:
         """
         function = (self.module.function(kernel)
                     if isinstance(kernel, str) else kernel)
+        self.launch_count += 1
         bound = self._bind_args(function, args)
         total = Metrics(warp_size=self.config.warp_size)
         for block_id in range(grid_dim):

@@ -319,7 +319,13 @@ class Warp:
         if isinstance(instr, Select):
             cond = self._read(instr.condition, lane)
             if cond is UNDEF:
-                raise SimulationError(f"select on undef condition: {instr!r}")
+                # Not an observation point: LLVM's `select undef, a, b` is
+                # defined (either operand), and legal speculation (late
+                # if-conversion hoisting a CFM select above its guard) can
+                # execute one on lanes that never use the result.  Propagate
+                # undef; the trap still fires if it reaches a branch, an
+                # address, or a stored value.
+                return UNDEF
             chosen = instr.true_value if cond else instr.false_value
             return self._read(chosen, lane)
         if isinstance(instr, GetElementPtr):

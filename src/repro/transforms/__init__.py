@@ -6,7 +6,17 @@ of that pipeline (folding, unrolling, CFG cleanup, if-conversion) and
 :func:`optimize` drives it to a fixpoint.
 """
 
-from .pass_manager import FixpointError, FunctionPass, PassPipeline, PassTiming
+from .pass_manager import (
+    AfterPassHook,
+    CallablePass,
+    FixpointError,
+    FunctionPass,
+    Pass,
+    PassPipeline,
+    PassResult,
+    PassTiming,
+    as_pass,
+)
 from .dce import eliminate_dead_code
 from .constfold import fold_constants
 from .cse import eliminate_common_subexpressions
@@ -31,7 +41,8 @@ from .speculate import speculate_hammocks
 from .licm import hoist_loop_invariants
 
 __all__ = [
-    "FixpointError", "FunctionPass", "PassPipeline", "PassTiming",
+    "AfterPassHook", "CallablePass", "FixpointError", "FunctionPass",
+    "Pass", "PassPipeline", "PassResult", "PassTiming", "as_pass",
     "eliminate_dead_code", "fold_constants",
     "eliminate_common_subexpressions",
     "fold_redundant_branches", "merge_straightline_blocks",
@@ -42,7 +53,7 @@ __all__ = [
     "UnrollLimits", "compute_trip_count", "unroll_loop", "unroll_loops",
     "unroll_partial",
     "speculate_hammocks", "hoist_loop_invariants",
-    "o3_pipeline", "optimize",
+    "o3_pipeline", "optimize", "late_pipeline",
 ]
 
 
@@ -63,6 +74,23 @@ def o3_pipeline(unroll: bool = True, speculate: bool = True,
     pipeline.add("simplifycfg2", simplify_cfg)
     pipeline.add("dce", eliminate_dead_code)
     return pipeline
+
+
+def late_pipeline(collect_ir_stats: bool = False,
+                  verify: bool = False,
+                  verify_after_each=None) -> PassPipeline:
+    """The "rest of the compilation flow" after a divergence-reduction
+    pass: late SimplifyCFG and the aggressive if-conversion that §IV-G
+    notes re-predicates pure unpredicated blocks, then DCE.  Shared by
+    the evaluation runner, the facade and the difftest oracle so every
+    client sees the identical §V-A pipeline."""
+    return PassPipeline([
+        ("late-simplifycfg", simplify_cfg),
+        ("late-speculate", speculate_hammocks),
+        ("late-simplifycfg2", simplify_cfg),
+        ("late-dce", eliminate_dead_code),
+    ], verify=verify, collect_ir_stats=collect_ir_stats,
+        verify_after_each=verify_after_each)
 
 
 def optimize(function, unroll: bool = True, speculate: bool = True,

@@ -1,10 +1,24 @@
 """Function-pass infrastructure.
 
-A *pass* is any callable ``(Function) -> bool`` returning whether it
-changed the IR.  :class:`PassPipeline` runs passes in order (optionally to
-a fixpoint) and can verify the IR after each pass — the test suite runs
-every pipeline in verifying mode, which is how transform bugs surface as
-precise verifier errors rather than downstream miscompiles.
+Two pass forms share one pipeline:
+
+* a plain callable ``(Function) -> bool`` returning whether it changed
+  the IR — every standard transform in :mod:`repro.transforms` has this
+  shape;
+* a :class:`Pass` subclass whose ``run(function) -> PassResult`` can
+  also surface structured statistics (the CFM pass returns its
+  :class:`~repro.core.pass_.CFMStats`, the baselines their change flag).
+
+:class:`PassPipeline` hosts both behind the :class:`Pass` interface
+(callables are wrapped on :meth:`PassPipeline.add`), runs them in order
+(optionally to a fixpoint) and can verify the IR after each pass — the
+test suite runs every pipeline in verifying mode, which is how transform
+bugs surface as precise verifier errors rather than downstream
+miscompiles.  The ``verify_after_each`` hook generalizes this: any
+callable ``(pass_name, function) -> None`` is invoked after **every**
+pass execution, which is how the differential-testing oracle
+(:mod:`repro.difftest`) attributes a verifier failure to the exact pass
+that introduced it.
 
 Timings are scoped per invocation: ``timings`` holds only the pass
 executions of the most recent :meth:`PassPipeline.run` /
@@ -23,12 +37,67 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.ir.function import Function
 from repro.ir.verifier import verify_function
 
 FunctionPass = Callable[[Function], bool]
+
+#: hook signature for ``PassPipeline(verify_after_each=...)``
+AfterPassHook = Callable[[str, Function], None]
+
+
+@dataclass
+class PassResult:
+    """Outcome of one :meth:`Pass.run`: the change flag every caller
+    needs plus whatever structured statistics the pass produces."""
+
+    changed: bool
+    stats: Optional[object] = None
+
+    def __bool__(self) -> bool:
+        return self.changed
+
+
+class Pass:
+    """A named function transformation with a uniform invocation surface.
+
+    Subclasses set :attr:`name` and implement
+    :meth:`run(function) -> PassResult`.  Instances are also plain
+    ``(Function) -> bool`` callables, so a :class:`Pass` drops into any
+    code path that still expects the callable form.
+    """
+
+    name: str = "pass"
+
+    def run(self, function: Function) -> PassResult:
+        raise NotImplementedError
+
+    def __call__(self, function: Function) -> bool:
+        return self.run(function).changed
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class CallablePass(Pass):
+    """Adapter giving a plain ``(Function) -> bool`` callable the
+    :class:`Pass` interface (used by :meth:`PassPipeline.add`)."""
+
+    def __init__(self, name: str, fn: FunctionPass) -> None:
+        self.name = name
+        self.fn = fn
+
+    def run(self, function: Function) -> PassResult:
+        return PassResult(changed=bool(self.fn(function)))
+
+
+def as_pass(pass_: Union[Pass, FunctionPass], name: Optional[str] = None) -> Pass:
+    """Normalize a pass-like object to a :class:`Pass` instance."""
+    if isinstance(pass_, Pass):
+        return pass_
+    return CallablePass(name or getattr(pass_, "__name__", "pass"), pass_)
 
 
 @dataclass
@@ -78,21 +147,47 @@ class FixpointError(RuntimeError):
 
 
 class PassPipeline:
-    """An ordered list of named function passes."""
+    """An ordered list of named function passes (:class:`Pass` objects
+    or plain callables; see module docstring)."""
 
-    def __init__(self, passes: Optional[List[Tuple[str, FunctionPass]]] = None,
-                 verify: bool = False, collect_ir_stats: bool = False) -> None:
-        self._passes: List[Tuple[str, FunctionPass]] = list(passes or [])
+    def __init__(self,
+                 passes: Optional[Sequence[Union[Pass, Tuple[str, FunctionPass]]]] = None,
+                 verify: bool = False, collect_ir_stats: bool = False,
+                 verify_after_each: Optional[AfterPassHook] = None) -> None:
+        self._passes: List[Pass] = []
+        for entry in passes or []:
+            if isinstance(entry, Pass):
+                self._passes.append(entry)
+            else:
+                name, fn = entry
+                self._passes.append(as_pass(fn, name))
         self.verify = verify
+        #: callable ``(pass_name, function)`` invoked after every pass
+        #: execution; raise from it to abort the pipeline with context
+        self.verify_after_each = verify_after_each
         self.collect_ir_stats = collect_ir_stats
         #: pass executions of the most recent run()/run_to_fixpoint() call
         self.timings: List[PassTiming] = []
         #: every pass execution over the pipeline object's lifetime
         self.cumulative_timings: List[PassTiming] = []
 
-    def add(self, name: str, pass_: FunctionPass) -> "PassPipeline":
-        self._passes.append((name, pass_))
+    def add(self, pass_or_name: Union[Pass, str],
+            pass_: Optional[FunctionPass] = None) -> "PassPipeline":
+        """Append a pass: ``add(PassInstance)`` or ``add("name", fn)``."""
+        if isinstance(pass_or_name, Pass):
+            if pass_ is not None:
+                raise TypeError("add(Pass) takes no second argument")
+            self._passes.append(pass_or_name)
+        else:
+            if pass_ is None:
+                raise TypeError("add(name, fn) requires the pass callable")
+            self._passes.append(as_pass(pass_, pass_or_name))
         return self
+
+    @property
+    def passes(self) -> List[Pass]:
+        """The hosted passes, in execution order."""
+        return list(self._passes)
 
     @staticmethod
     def _ir_size(function: Function) -> Tuple[int, int]:
@@ -102,12 +197,13 @@ class PassPipeline:
     def _run_once(self, function: Function) -> bool:
         """One sweep over the pass list, appending to the current scope."""
         changed = False
-        for name, pass_ in self._passes:
+        for pass_ in self._passes:
             if self.collect_ir_stats:
                 blocks_before, instrs_before = self._ir_size(function)
             start = time.perf_counter()
-            pass_changed = pass_(function)
-            timing = PassTiming(name, time.perf_counter() - start, pass_changed)
+            result = pass_.run(function)
+            timing = PassTiming(pass_.name, time.perf_counter() - start,
+                                result.changed)
             if self.collect_ir_stats:
                 timing.blocks_before = blocks_before
                 timing.instructions_before = instrs_before
@@ -115,13 +211,16 @@ class PassPipeline:
                     self._ir_size(function)
             self.timings.append(timing)
             self.cumulative_timings.append(timing)
-            changed |= pass_changed
+            changed |= result.changed
             if self.verify:
                 try:
                     verify_function(function)
                 except Exception as exc:
                     raise RuntimeError(
-                        f"IR verification failed after pass {name!r}") from exc
+                        f"IR verification failed after pass "
+                        f"{pass_.name!r}") from exc
+            if self.verify_after_each is not None:
+                self.verify_after_each(pass_.name, function)
         return changed
 
     def run(self, function: Function) -> bool:

@@ -122,6 +122,12 @@ def _erase_if_dead(phi: Phi) -> None:
     users = set(u for u, _ in phi.uses)
     if users - {phi}:
         return
-    phi._uses = [(u, i) for u, i in phi._uses if u is not phi]
-    if not phi.is_used:
-        phi.erase_from_parent()
+    # A dead φ may still feed itself (loop-header φ whose only use is its
+    # own back-edge incoming).  Detach the self-references through the
+    # operand API — not by editing the use list directly, which would
+    # leave operand slots pointing at the φ and blow up the use-list
+    # bookkeeping when erase_from_parent() drops the operands.
+    for index, op in enumerate(list(phi.operands)):
+        if op is phi:
+            phi.set_operand(index, Undef(phi.type))
+    phi.erase_from_parent()

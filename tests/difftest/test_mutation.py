@@ -1,0 +1,104 @@
+"""Mutation tests: the harness must catch deliberately injected bugs.
+
+This is the difftest suite testing *itself*: each named bug in
+:mod:`repro.difftest.bugs` sabotages one transform, and the oracle must
+flag it, the shrinker must reduce the witness to a small DSL program
+(the acceptance bar is <= 12 statements), and the corpus must record a
+replayable artifact.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.difftest import (
+    generate_spec,
+    inject,
+    load_entry,
+    replay,
+    run_oracle,
+    shrink,
+    write_entry,
+)
+
+#: plenty for each bug class to surface (both trigger within ~10 seeds)
+SEED_HUNT = range(30)
+
+
+def _first_failing(kind):
+    for seed in SEED_HUNT:
+        verdict = run_oracle(generate_spec(seed))
+        if any(f.kind == kind for f in verdict.failures):
+            return generate_spec(seed), verdict
+    return None, None
+
+
+class TestSwapSelect:
+    """A silent miscompile: the melder picks the wrong path's value."""
+
+    def test_caught_and_shrunk_to_small_repro(self):
+        with inject("swap-select"):
+            spec, verdict = _first_failing("mismatch")
+            assert spec is not None, "swap-select never caught — oracle blind"
+
+            result = shrink(
+                spec, lambda s: not run_oracle(s).ok)
+            assert result.statements <= 12, (
+                f"shrinker left {result.statements} statements")
+            assert result.statements <= result.original_statements
+            # The shrunk spec still witnesses the bug...
+            assert not run_oracle(result.spec).ok
+        # ...and replays clean once the bug is gone.
+        assert run_oracle(result.spec).ok
+
+    def test_ir_stays_well_formed(self):
+        """The bug is semantic — the verifier must NOT be what catches it."""
+        with inject("swap-select"):
+            spec, verdict = _first_failing("mismatch")
+            assert spec is not None
+            assert verdict.verifier_failures == 0
+
+
+class TestDropUndefPhi:
+    """Malformed IR: entry φs missing incoming edges (paper's Fig. 4)."""
+
+    def test_caught_by_per_pass_verification(self):
+        with inject("drop-undef-phi"):
+            spec, verdict = _first_failing("verifier")
+            assert spec is not None, "drop-undef-phi never caught"
+            failure = next(f for f in verdict.failures if f.kind == "verifier")
+            # The hook attributes the breakage to the guilty pass.
+            assert failure.pass_name == "cfm"
+            assert failure.arm == "o3-cfm"
+
+    def test_shrinks_below_acceptance_bar(self):
+        with inject("drop-undef-phi"):
+            spec, _ = _first_failing("verifier")
+            assert spec is not None
+            result = shrink(spec, lambda s: not run_oracle(s).ok)
+            assert result.statements <= 12
+
+
+class TestCorpusRoundTrip:
+    def test_failure_recorded_and_replayable(self, tmp_path):
+        with inject("swap-select"):
+            spec, verdict = _first_failing("mismatch")
+            assert spec is not None
+            path = write_entry(tmp_path, spec, verdict,
+                               injected_bug="swap-select")
+            entry = load_entry(path)
+            assert entry.spec == spec
+            assert entry.injected_bug == "swap-select"
+            assert entry.failures
+            # The standalone script rides along.
+            script = Path(str(path).replace(".json", "_repro.py"))
+            assert script.exists()
+            assert "run_oracle" in script.read_text()
+            # Under the bug, replay still fails...
+            assert not replay(path).ok
+        # ...and with the compiler healthy again, it is clean.
+        assert replay(path).ok
+
+    def test_unknown_bug_rejected(self):
+        with pytest.raises(ValueError, match="unknown bug"):
+            inject("off-by-one-everywhere")

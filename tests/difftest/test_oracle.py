@@ -1,0 +1,41 @@
+"""The differential oracle on a healthy compiler: all arms agree."""
+
+import pytest
+
+from repro.difftest import ALL_ARMS, generate_spec, run_oracle
+
+
+class TestCleanOracle:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_all_arms_agree(self, seed):
+        verdict = run_oracle(generate_spec(seed))
+        assert verdict.ok, [str(f) for f in verdict.failures]
+        assert verdict.mismatches == 0
+        assert verdict.verifier_failures == 0
+
+    def test_every_pass_is_verified(self):
+        verdict = run_oracle(generate_spec(0))
+        for arm in ALL_ARMS:
+            if arm == "noopt":
+                continue
+            assert verdict.arms[arm].verified_passes > 0, arm
+
+    def test_melds_actually_happen_somewhere(self):
+        melds = sum(run_oracle(generate_spec(seed)).arms["o3-cfm"].melds
+                    for seed in range(15))
+        assert melds > 0, "fuzzer corpus never triggers CFM — oracle is blind"
+
+    def test_outputs_recorded_per_input_seed(self):
+        verdict = run_oracle(generate_spec(1), input_seeds=(0, 1, 2))
+        for arm, report in verdict.arms.items():
+            assert report.outputs is not None, arm
+            assert len(report.outputs) == 3
+
+    def test_noopt_reference_always_included(self):
+        verdict = run_oracle(generate_spec(2), arms=("o3-cfm",))
+        assert "noopt" in verdict.arms
+        assert verdict.ok
+
+    def test_unknown_arm_rejected(self):
+        with pytest.raises(ValueError, match="unknown arms"):
+            run_oracle(generate_spec(0), arms=("noopt", "o4"))

@@ -1,0 +1,84 @@
+"""GPU device-state lifecycle: reset() and context-manager use."""
+
+import repro
+from repro import GPU, I32
+from repro.difftest import build_kernel, generate_spec, make_inputs
+from tests.support import parse
+
+
+def make_module():
+    return parse("""
+define void @incr(i32 addrspace(1)* %p) {
+entry:
+  %tid = call i32 @llvm.gpu.tid.x()
+  %g = getelementptr i32, i32 addrspace(1)* %p, i32 %tid
+  %v = load i32, i32 addrspace(1)* %g
+  %v2 = add i32 %v, 1
+  store i32 %v2, i32 addrspace(1)* %g
+  ret void
+}
+""").module
+
+
+class TestReset:
+    def test_reset_reclaims_device_memory(self):
+        gpu = GPU(make_module())
+        first_base = gpu.alloc("p", I32, [0] * 4).address
+        gpu.alloc("q", I32, [0] * 1024)
+        gpu.reset()
+        # A fresh allocation lands where the very first one did: the old
+        # address space is gone, not merely shadowed.
+        assert gpu.alloc("p", I32, [0] * 4).address == first_base
+
+    def test_launches_work_after_reset(self):
+        gpu = GPU(make_module())
+        stale = gpu.alloc("p", I32, [0] * 4)
+        gpu.launch("incr", 1, 4, {"p": stale})
+        gpu.reset()
+        buffer = gpu.alloc("p", I32, [10, 20, 30, 40])
+        gpu.launch("incr", 1, 4, {"p": buffer})
+        assert buffer.data == [11, 21, 31, 41]
+
+    def test_launch_count_survives_reset(self):
+        gpu = GPU(make_module())
+        buffer = gpu.alloc("p", I32, [0] * 4)
+        gpu.launch("incr", 1, 4, {"p": buffer})
+        assert gpu.launch_count == 1
+        gpu.reset()
+        buffer = gpu.alloc("p", I32, [0] * 4)
+        gpu.launch("incr", 1, 4, {"p": buffer})
+        assert gpu.launch_count == 2
+
+    def test_repeat_launches_after_reset_are_independent(self):
+        spec = generate_spec(5)
+        builder = build_kernel(spec)
+        args = make_inputs(spec, 0)
+
+        gpu = GPU(builder.module)
+        first = repro.launch(builder.module, spec.grid_dim, spec.block_dim,
+                             dict(args), gpu=gpu).outputs
+        gpu.reset()
+        second = repro.launch(builder.module, spec.grid_dim, spec.block_dim,
+                              dict(args), gpu=gpu).outputs
+        assert first == second
+
+
+class TestContextManager:
+    def test_with_block_yields_gpu_and_resets_on_exit(self):
+        with GPU(make_module()) as gpu:
+            memory_inside = gpu.memory
+            buffer = gpu.alloc("p", I32, [5] * 4)
+            gpu.launch("incr", 1, 4, {"p": buffer})
+            assert buffer.data == [6] * 4
+        assert gpu.memory is not memory_inside  # state dropped on exit
+
+    def test_exception_still_resets(self):
+        gpu_ref = None
+        try:
+            with GPU(make_module()) as gpu:
+                gpu_ref = gpu
+                memory_inside = gpu.memory
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert gpu_ref.memory is not memory_inside

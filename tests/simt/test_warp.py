@@ -222,6 +222,37 @@ entry:
 """, {"p": [0]}, block_dim=1)
         assert out["p"][0] == 7
 
+    def test_select_on_undef_condition_propagates(self):
+        # Not an observation point (LLVM: either operand, never UB): legal
+        # speculation can hoist a CFM select above its guard, executing it
+        # on lanes that discard the result.  Found by repro.difftest
+        # (generator seed 130).
+        out, _ = run("""
+define void @k(i32 addrspace(1)* %p) {
+entry:
+  %s = select i1 undef, i32 7, i32 9
+  %g = getelementptr i32, i32 addrspace(1)* %p, i32 0
+  store i32 5, i32 addrspace(1)* %g
+  ret void
+}
+""", {"p": [0]}, block_dim=1)
+        assert out["p"][0] == 5
+
+    def test_select_on_undef_condition_is_not_a_defined_value(self):
+        # ...but the undef it yields is still visible wherever it lands:
+        # a stored result reads back as the undef sentinel, so the
+        # differential harness flags it as a mismatch against a clean arm.
+        out, _ = run("""
+define void @k(i32 addrspace(1)* %p) {
+entry:
+  %s = select i1 undef, i32 7, i32 9
+  %g = getelementptr i32, i32 addrspace(1)* %p, i32 0
+  store i32 %s, i32 addrspace(1)* %g
+  ret void
+}
+""", {"p": [0]}, block_dim=1)
+        assert repr(out["p"][0]) == "<undef>"
+
 
 class TestMetricsAccounting:
     def test_memory_instruction_classification(self):
