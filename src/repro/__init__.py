@@ -21,7 +21,9 @@ Internal layout:
 * :mod:`repro.baselines` — tail merging and branch fusion comparators;
 * :mod:`repro.kernels` — the paper's benchmark kernels in a builder DSL;
 * :mod:`repro.evaluation` — harness regenerating every table and figure;
-* :mod:`repro.difftest` — differential fuzzing of all of the above.
+* :mod:`repro.difftest` — differential fuzzing of all of the above;
+* :mod:`repro.obs` — span-based tracing (compile passes, melding
+  decisions, warp divergence) behind :func:`repro.trace`.
 """
 
 __version__ = "1.1.0"
@@ -124,11 +126,19 @@ from repro.facade import (
     launch,
     meld,
 )
+from repro.obs import (
+    NullTracer,
+    Tracer,
+    current_tracer,
+    trace,
+)
 
 __all__ = [
     # facade verbs
     "compile", "launch", "meld",
     "CompileReport", "LaunchResult", "COMPILE_LEVELS",
+    # observability (repro.obs)
+    "trace", "Tracer", "NullTracer", "current_tracer",
     # IR essentials
     "Function", "Module", "I1", "I32", "ICmpPredicate",
     "print_function", "print_module", "parse_function", "parse_module",

@@ -21,6 +21,12 @@ from repro.analysis.divergence import compute_divergence
 from repro.analysis.dominators import compute_postdominator_tree
 from repro.analysis.latency import DEFAULT_LATENCY_MODEL, LatencyModel
 from repro.ir.function import Function
+from repro.obs import (
+    BlockPairScore,
+    MeldingDecision,
+    current_tracer,
+    emit_decisions,
+)
 from repro.transforms.dce import eliminate_dead_code
 from repro.transforms.simplifycfg import (
     fold_redundant_branches,
@@ -31,8 +37,10 @@ from repro.transforms.simplifycfg import (
 from repro.transforms.pass_manager import Pass, PassResult
 from repro.transforms.ssa_repair import repair_ssa
 
+from .instr_align import align_instructions
 from .meldable import MeldableRegion, find_meldable_region
 from .melder import Melder, MeldResult
+from .profitability import block_profitability, instruction_profitability
 from .sese import path_subgraphs, simplify_path_subgraphs
 from .subgraph_align import (
     SubgraphPair,
@@ -81,6 +89,9 @@ class CFMStats:
     """Aggregate outcome of the pass."""
 
     melds: List[MeldRecord] = field(default_factory=list)
+    #: the structured decision log: every candidate region with its
+    #: FP_B/FP_S/FP_I scores, alignment, and accept/reject reason
+    decisions: List[MeldingDecision] = field(default_factory=list)
     iterations: int = 0
     regions_considered: int = 0
     pairs_rejected_unprofitable: int = 0
@@ -128,6 +139,7 @@ class CFMPass(Pass):
 
         stats.seconds = time.perf_counter() - start
         self.stats = stats
+        emit_decisions(stats.decisions, current_tracer())
         return PassResult(changed=stats.changed, stats=stats)
 
 
@@ -142,7 +154,12 @@ def run_cfm(function: Function, config: Optional[CFMConfig] = None) -> CFMStats:
 
 
 def _meld_one(function: Function, config: CFMConfig, stats: CFMStats) -> bool:
-    """One Algorithm-1 iteration: meld at most one subgraph pair."""
+    """One Algorithm-1 iteration: meld at most one subgraph pair.
+
+    Every candidate region appends one :class:`MeldingDecision` to
+    ``stats.decisions`` — the structured log of why the region melded or
+    was passed over.
+    """
     divergence = compute_divergence(function)
     pdt = compute_postdominator_tree(function)
 
@@ -155,6 +172,11 @@ def _meld_one(function: Function, config: CFMConfig, stats: CFMStats) -> bool:
         true_subs = path_subgraphs(region.true_first, region.exit, pdt)
         false_subs = path_subgraphs(region.false_first, region.exit, pdt)
         if not true_subs or not false_subs:
+            stats.decisions.append(MeldingDecision(
+                iteration=stats.iterations, region_entry=region.entry.name,
+                action="no-path-subgraphs",
+                reason="a divergent path decomposes into no SESE subgraphs",
+                threshold=config.profitability_threshold))
             continue
         changed_t = simplify_path_subgraphs(function, true_subs)
         changed_f = simplify_path_subgraphs(function, false_subs)
@@ -166,17 +188,41 @@ def _meld_one(function: Function, config: CFMConfig, stats: CFMStats) -> bool:
 
         pair = _choose_pair(true_subs, false_subs, config)
         if pair is None:
+            stats.decisions.append(MeldingDecision(
+                iteration=stats.iterations, region_entry=region.entry.name,
+                action="no-meldable-pair",
+                reason="no meldable (isomorphic or case-②) subgraph "
+                       "pair exists across the two paths",
+                threshold=config.profitability_threshold))
             continue
+        decision = _score_pair(stats.iterations, region, pair, config)
         if pair.profitability <= config.profitability_threshold:
             stats.pairs_rejected_unprofitable += 1
+            decision.action = "rejected-unprofitable"
+            decision.reason = (
+                f"FP_S {pair.profitability:.4f} ≤ threshold "
+                f"{config.profitability_threshold:g}")
+            stats.decisions.append(decision)
             continue
 
         result = Melder(function, region, pair, config.latency).meld()
         remove_unreachable_blocks(function)
         repair_ssa(function)
+        unpredicated = False
         if config.unpredication:
-            unpredicate(function, result, config.split_pure_runs)
+            unpredicated = unpredicate(function, result,
+                                       config.split_pure_runs)
         _post_optimize(function)
+
+        decision.action = "melded"
+        decision.reason = (
+            f"FP_S {pair.profitability:.4f} > threshold "
+            f"{config.profitability_threshold:g}")
+        decision.selects_inserted = result.selects_inserted
+        decision.instructions_melded = result.instructions_melded
+        decision.instructions_unaligned = result.instructions_unaligned
+        decision.unpredicated = unpredicated
+        stats.decisions.append(decision)
 
         stats.melds.append(MeldRecord(
             region_entry=region.entry.name,
@@ -191,6 +237,45 @@ def _meld_one(function: Function, config: CFMConfig, stats: CFMStats) -> bool:
         ))
         return True
     return False
+
+
+def _score_pair(iteration: int, region: MeldableRegion, pair: SubgraphPair,
+                config: CFMConfig) -> MeldingDecision:
+    """Score a chosen pair *before* melding mutates its blocks: per-pair
+    ``FP_B`` over the alignment and the summed instruction-level ``FP_I``
+    (estimated cycles saved) of every fully-mapped block pair."""
+    block_scores = []
+    fp_i_total = 0.0
+    for bt, bf in pair.mapping:
+        if bt is None or bf is None:
+            block_scores.append(BlockPairScore(
+                true_block=bt.name if bt is not None else None,
+                false_block=bf.name if bf is not None else None,
+                fp_b=0.0))
+            continue
+        block_scores.append(BlockPairScore(
+            true_block=bt.name, false_block=bf.name,
+            fp_b=block_profitability(bt, bf, config.latency)))
+        for ip in align_instructions(bt, bf, config.latency):
+            if ip.is_match:
+                fp_i_total += instruction_profitability(
+                    ip.true_instr, ip.false_instr, config.latency)
+    return MeldingDecision(
+        iteration=iteration,
+        region_entry=region.entry.name,
+        action="melded",  # overwritten by the caller's verdict
+        reason="",
+        threshold=config.profitability_threshold,
+        fp_s=pair.profitability,
+        true_entry=pair.true_subgraph.entry.name,
+        false_entry=pair.false_subgraph.entry.name,
+        partial=pair.is_partial,
+        alignment=[(bt.name if bt is not None else None,
+                    bf.name if bf is not None else None)
+                   for bt, bf in pair.mapping],
+        block_scores=block_scores,
+        fp_i_saved_cycles=fp_i_total,
+    )
 
 
 def _choose_pair(true_subs, false_subs, config: CFMConfig) -> Optional[SubgraphPair]:

@@ -46,6 +46,7 @@ from .oracle import (
     Failure,
     PassVerificationError,
     Verdict,
+    arm_trace,
     run_oracle,
 )
 from .shrink import ShrinkResult, shrink
@@ -61,6 +62,7 @@ __all__ = [
     "PassVerificationError",
     "ShrinkResult",
     "Verdict",
+    "arm_trace",
     "build_kernel",
     "count_statements",
     "generate_spec",

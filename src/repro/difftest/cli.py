@@ -23,10 +23,12 @@ import time
 from pathlib import Path
 from typing import List, Optional, Sequence
 
+from repro.obs import Tracer, use as use_tracer
+
 from .bugs import BUGS, inject
 from .corpus import write_entry
 from .generator import KernelSpec, generate_spec
-from .oracle import ALL_ARMS, Verdict, run_oracle
+from .oracle import ALL_ARMS, Verdict, arm_trace, run_oracle
 from .shrink import shrink
 
 
@@ -57,6 +59,10 @@ def _parse_args(argv: Optional[Sequence[str]]) -> argparse.Namespace:
                         help="record failures without minimizing them")
     parser.add_argument("--inject-bug", choices=sorted(BUGS), default=None,
                         help="sabotage a transform for mutation testing")
+    parser.add_argument("--trace", type=Path, default=None, metavar="FILE",
+                        help="run the whole campaign under a repro.obs "
+                             "tracer and write Chrome trace JSON here "
+                             "(loads in Perfetto; slows the fuzz loop)")
     parser.add_argument("--quiet", action="store_true",
                         help="only print the final summary")
     args = parser.parse_args(argv)
@@ -80,9 +86,16 @@ def run_campaign(argv: Optional[Sequence[str]] = None) -> int:
     bug_scope = inject(args.inject_bug) if args.inject_bug else None
     if bug_scope is not None:
         bug_scope.__enter__()
+    tracer = Tracer() if args.trace is not None else None
     try:
+        if tracer is not None:
+            with use_tracer(tracer):
+                return _campaign_body(args, arms, input_seeds, deadline)
         return _campaign_body(args, arms, input_seeds, deadline)
     finally:
+        if tracer is not None:
+            tracer.write(str(args.trace))
+            print(f"wrote {args.trace} ({len(tracer.events)} trace events)")
         if bug_scope is not None:
             bug_scope.__exit__(None, None, None)
 
@@ -161,10 +174,16 @@ def _record_failure(args: argparse.Namespace, spec: KernelSpec,
                       f"{result.statements} statements "
                       f"({result.attempts} attempts)")
 
+    # Recompile each failing arm under a fresh tracer so the corpus
+    # entry carries its pass-span trace and melding decision log.
+    failing_arms = sorted({f.arm for f in final_verdict.failures})
+    traces = [arm_trace(final_spec, arm) for arm in failing_arms]
+
     path = write_entry(args.corpus_dir, final_spec, final_verdict,
                        original_statements=original_statements,
                        input_seeds=input_seeds,
-                       injected_bug=args.inject_bug)
+                       injected_bug=args.inject_bug,
+                       traces=traces)
     _progress(args.quiet, f"  wrote {path}")
 
 

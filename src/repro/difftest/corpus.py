@@ -21,14 +21,16 @@ seed overwrites rather than accumulates.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import List, Optional, Sequence
 
 from .generator import KernelSpec
 from .oracle import ALL_ARMS, Verdict, run_oracle
 
-ENTRY_SCHEMA = "repro.difftest.corpus/1"
+ENTRY_SCHEMA = "repro.difftest.corpus/2"
+#: previous layout (no per-arm traces); still readable
+ENTRY_SCHEMA_V1 = "repro.difftest.corpus/1"
 
 _REPRO_TEMPLATE = '''\
 #!/usr/bin/env python
@@ -84,6 +86,9 @@ class CorpusEntry:
     original_statements: int
     statements: int
     injected_bug: Optional[str] = None
+    #: per failing arm: pass-span trace events + melding decision log
+    #: (schema /2; empty for entries recorded under /1)
+    traces: List[dict] = field(default_factory=list)
     path: Optional[Path] = None
 
 
@@ -95,8 +100,16 @@ def entry_name(spec: KernelSpec, verdict: Verdict) -> str:
 def write_entry(corpus_dir: Path, spec: KernelSpec, verdict: Verdict,
                 original_statements: Optional[int] = None,
                 input_seeds: Sequence[int] = (0, 1),
-                injected_bug: Optional[str] = None) -> Path:
-    """Write the JSON entry + standalone repro script; return entry path."""
+                injected_bug: Optional[str] = None,
+                traces: Optional[Sequence[dict]] = None) -> Path:
+    """Write the JSON entry + standalone repro script; return entry path.
+
+    ``traces`` (one per failing arm, from
+    :func:`repro.difftest.oracle.arm_trace`) embeds each arm's
+    compile-pass trace events and melding decision log into the entry,
+    so a recorded failure explains what the compiler did without
+    re-running it.
+    """
     corpus_dir = Path(corpus_dir)
     corpus_dir.mkdir(parents=True, exist_ok=True)
     name = entry_name(spec, verdict)
@@ -113,6 +126,7 @@ def write_entry(corpus_dir: Path, spec: KernelSpec, verdict: Verdict,
                                 else spec.statement_count()),
         "statements": spec.statement_count(),
         "injected_bug": injected_bug,
+        "traces": list(traces or []),
     }
     entry_path = corpus_dir / f"{name}.json"
     entry_path.write_text(json.dumps(entry, indent=2, sort_keys=True) + "\n")
@@ -128,9 +142,11 @@ def write_entry(corpus_dir: Path, spec: KernelSpec, verdict: Verdict,
 
 
 def load_entry(path: Path) -> CorpusEntry:
+    """Read a corpus entry of either schema version (/1 entries load
+    with an empty ``traces`` list)."""
     path = Path(path)
     data = json.loads(path.read_text())
-    if data.get("schema") != ENTRY_SCHEMA:
+    if data.get("schema") not in (ENTRY_SCHEMA, ENTRY_SCHEMA_V1):
         raise ValueError(f"{path}: not a corpus entry "
                          f"(schema {data.get('schema')!r})")
     return CorpusEntry(
@@ -142,6 +158,7 @@ def load_entry(path: Path) -> CorpusEntry:
         original_statements=data["original_statements"],
         statements=data["statements"],
         injected_bug=data.get("injected_bug"),
+        traces=list(data.get("traces", [])),
         path=path,
     )
 

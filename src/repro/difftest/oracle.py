@@ -43,6 +43,7 @@ from repro import (
     o3_pipeline,
     verify_function,
 )
+from repro.obs import MeldingDecision, Tracer, use as use_tracer
 
 from .generator import KernelSpec, build_kernel, make_inputs
 
@@ -82,6 +83,8 @@ class ArmReport:
     failure: Optional[Failure] = None
     #: the compiled kernel (present when compilation succeeded)
     builder: Optional[object] = field(default=None, repr=False)
+    #: the CFM pass's melding decision log (``o3-cfm`` arm only)
+    decisions: List[MeldingDecision] = field(default_factory=list, repr=False)
 
 
 @dataclass
@@ -177,8 +180,29 @@ def _compile_arm(arm: str, spec: KernelSpec,
         cfm = next(p for pl in pipelines for p in pl.passes
                    if isinstance(p, CFMPass))
         report.melds = len(cfm.stats.melds) if cfm.stats else 0
+        report.decisions = list(cfm.stats.decisions) if cfm.stats else []
     report.builder = builder
     return report
+
+
+def arm_trace(spec: KernelSpec, arm: str,
+              cfm_config: Optional[CFMConfig] = None) -> Dict[str, object]:
+    """Re-compile one arm under a fresh tracer and return its artifacts.
+
+    Used when recording a failing seed: the hot fuzz loop runs untraced,
+    and only once a failure is being written to the corpus is the guilty
+    arm recompiled to capture its pass-span trace and (for ``o3-cfm``)
+    the melding decision log.  Compilation is deterministic, so the
+    replayed trace describes exactly the compile that failed.
+    """
+    tracer = Tracer()
+    with use_tracer(tracer):
+        report = _compile_arm(arm, spec, cfm_config)
+    return {
+        "arm": arm,
+        "events": list(tracer.events),
+        "melding_decisions": [d.as_dict() for d in report.decisions],
+    }
 
 
 def _run_arm(report: ArmReport, spec: KernelSpec,

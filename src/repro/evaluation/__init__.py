@@ -21,7 +21,10 @@ from .parallel import (
 )
 from .trace import (
     SWEEP_TRACE_SCHEMA,
+    SWEEP_TRACE_SCHEMA_V1,
     SweepTraceCollector,
+    TRACE_EVENT_POLICIES,
+    load_sweep_trace,
     pass_trace_events,
     write_pass_trace_jsonl,
 )
@@ -57,7 +60,8 @@ __all__ = [
     "compile_baseline", "compile_cfm", "execute", "geomean",
     "ParallelRunner", "SweepError", "SweepTask", "TaskResult",
     "run_task", "run_tasks",
-    "SWEEP_TRACE_SCHEMA", "SweepTraceCollector",
+    "SWEEP_TRACE_SCHEMA", "SWEEP_TRACE_SCHEMA_V1", "SweepTraceCollector",
+    "TRACE_EVENT_POLICIES", "load_sweep_trace",
     "pass_trace_events", "write_pass_trace_jsonl",
     "CapabilityRow", "CompileTimeRow", "CounterRow",
     "DEFAULT_GRID_DIM", "DEFAULT_SEED", "Figure8Result",

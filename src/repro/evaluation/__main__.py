@@ -11,7 +11,11 @@ tables), which is what CI's smoke job uses.
 
 A machine-readable ``sweep_trace.json`` (per-config pass timings, cache
 stats, full metrics — see ``docs/evaluation.md``) is written alongside
-the report unless ``--no-trace`` is given.
+the report unless ``--no-trace`` is given.  Schema v2 embeds Chrome
+trace events (compile-pass spans, melding decisions, per-warp divergence
+timelines) for the tasks selected by ``--trace-events`` — the file loads
+directly in Perfetto, and ``python -m repro.obs report sweep_trace.json``
+renders its divergence heatmaps.
 """
 
 from __future__ import annotations
@@ -40,7 +44,7 @@ from .reporting import (
     format_table1,
     format_table2,
 )
-from .trace import SweepTraceCollector
+from .trace import SweepTraceCollector, TRACE_EVENT_POLICIES
 
 
 def build_report(quick: bool = False, workers: int = 1,
@@ -120,6 +124,11 @@ def main(argv=None) -> int:
                              "(default: sweep_trace.json next to --out)")
     parser.add_argument("--no-trace", action="store_true",
                         help="skip writing the sweep trace")
+    parser.add_argument("--trace-events", choices=TRACE_EVENT_POLICIES,
+                        default="first", metavar="{off,first,all}",
+                        help="which sweep tasks capture Chrome trace events "
+                             "into the sweep trace (default: first block "
+                             "size of each kernel)")
     parser.add_argument("--json", metavar="FILE",
                         help="also dump raw speedup/counter data as JSON")
     args = parser.parse_args(argv)
@@ -128,7 +137,8 @@ def main(argv=None) -> int:
                if args.kernels else None)
     trace = (None if args.no_trace
              else SweepTraceCollector(workers=args.workers,
-                                      timeout=args.timeout))
+                                      timeout=args.timeout,
+                                      policy=args.trace_events))
 
     if args.json:
         import json

@@ -76,11 +76,19 @@ def run_sweep(
     ``repro.evaluation.parallel``); results are ordered identically to
     the serial run.  A failed task — after its retry — raises
     :class:`SweepError` rather than silently dropping a figure row.
+
+    When a ``trace`` collector is attached, its ``policy`` selects which
+    tasks additionally capture Chrome trace events ("first" = the first
+    block size of each kernel, "all", or "off"); captured events are
+    merged into the collector's Perfetto-loadable ``traceEvents``.
     """
+    policy = trace.policy if trace is not None else "off"
     tasks = [SweepTask(kernel=name, builder=builder, block_size=block_size,
-                       grid_dim=grid_dim, seed=seed, config=config)
+                       grid_dim=grid_dim, seed=seed, config=config,
+                       trace=(policy == "all"
+                              or (policy == "first" and position == 0)))
              for name, builder in builders.items()
-             for block_size in block_sizes[name]]
+             for position, block_size in enumerate(block_sizes[name])]
     results = ParallelRunner(workers=workers, timeout=timeout).run(tasks)
     if trace is not None:
         trace.record(trace_section, results)

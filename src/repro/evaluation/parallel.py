@@ -33,6 +33,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core import CFMConfig
 from repro.kernels.common import KernelCase
+from repro.obs import Tracer, use as use_tracer
 
 from .runner import Comparison, CompileCache, compare
 
@@ -50,6 +51,9 @@ class SweepTask:
     grid_dim: int = 2
     seed: int = 1234
     config: Optional[CFMConfig] = None
+    #: capture a repro.obs trace of this task (pass spans, melding
+    #: decisions, warp divergence events) into TaskResult.trace_events
+    trace: bool = False
 
 
 @dataclass
@@ -65,6 +69,8 @@ class TaskResult:
     seconds: float = 0.0
     compile_cache_hits: int = 0
     compile_cache_misses: int = 0
+    #: Chrome trace events captured when SweepTask.trace was set
+    trace_events: Optional[List[Dict[str, object]]] = None
 
     @property
     def ok(self) -> bool:
@@ -83,18 +89,33 @@ class SweepError(RuntimeError):
 
 
 def run_task(task: SweepTask, index: int = 0, attempts: int = 1) -> TaskResult:
-    """Execute one comparison with a per-task compile cache."""
+    """Execute one comparison with a per-task compile cache.
+
+    With ``task.trace`` set the comparison runs under a fresh
+    :class:`~repro.obs.Tracer` (installed for this task only) and the
+    captured events ride back on :attr:`TaskResult.trace_events`.
+    """
     cache = CompileCache()
     start = time.perf_counter()
-    comparison = compare(
-        task.builder, task.block_size, grid_dim=task.grid_dim,
-        seed=task.seed, config=task.config, name=task.kernel,
-        cache=cache, collect_ir_stats=True)
+    events: Optional[List[Dict[str, object]]] = None
+    if task.trace:
+        with use_tracer(Tracer()) as tracer:
+            comparison = compare(
+                task.builder, task.block_size, grid_dim=task.grid_dim,
+                seed=task.seed, config=task.config, name=task.kernel,
+                cache=cache, collect_ir_stats=True)
+        events = list(tracer.events)
+    else:
+        comparison = compare(
+            task.builder, task.block_size, grid_dim=task.grid_dim,
+            seed=task.seed, config=task.config, name=task.kernel,
+            cache=cache, collect_ir_stats=True)
     return TaskResult(
         index=index, kernel=task.kernel, block_size=task.block_size,
         comparison=comparison, attempts=attempts,
         seconds=time.perf_counter() - start,
-        compile_cache_hits=cache.hits, compile_cache_misses=cache.misses)
+        compile_cache_hits=cache.hits, compile_cache_misses=cache.misses,
+        trace_events=events)
 
 
 def _child_main(task: SweepTask, index: int, attempts: int, conn) -> None:

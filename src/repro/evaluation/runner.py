@@ -25,6 +25,7 @@ from repro.core import CFMConfig, CFMStats, run_cfm
 from repro.ir import print_module, verify_function
 from repro.ir.parser import parse_module
 from repro.kernels.common import KernelCase
+from repro.obs import current_tracer, emit_pass_timing
 from repro.simt import MachineConfig, Metrics, run_kernel
 from repro.transforms import (
     PassPipeline,
@@ -162,6 +163,11 @@ def compile_cfm(case: KernelCase, config: Optional[CFMConfig] = None,
         cfm_timing.blocks_after, cfm_timing.instructions_after = \
             PassPipeline._ir_size(case.function)
     timings.append(cfm_timing)
+    tracer = current_tracer()
+    if tracer.enabled:
+        # The CFM stage runs outside a PassPipeline here, so its span is
+        # emitted by hand (the pipeline does this for every other pass).
+        emit_pass_timing(cfm_timing, tracer)
     late = late_pipeline(collect_ir_stats=collect_ir_stats)
     late.run(case.function)
     timings.extend(late.timings)
@@ -183,12 +189,13 @@ class RunResult:
 
 def execute(case: KernelCase, seed: int = 1234,
             machine: Optional[MachineConfig] = None,
-            check: bool = True) -> RunResult:
+            check: bool = True,
+            trace_label: Optional[str] = None) -> RunResult:
     inputs = case.make_buffers(seed)
     outputs, metrics = run_kernel(
         case.module, case.kernel, case.grid_dim, case.block_dim,
         buffers={name: list(data) for name, data in inputs.items()},
-        scalars=case.scalars, config=machine)
+        scalars=case.scalars, config=machine, trace_label=trace_label)
     if check:
         case.verify_outputs(inputs, outputs)
     return RunResult(metrics=metrics, outputs=outputs)
@@ -234,14 +241,17 @@ def compare(
     """
     base_case = builder(block_size=block_size, grid_dim=grid_dim)
     cfm_case = builder(block_size=block_size, grid_dim=grid_dim)
+    label = name or base_case.name
 
     base_compile = compile_baseline(base_case, cache=cache,
                                     collect_ir_stats=collect_ir_stats)
     cfm_compile = compile_cfm(cfm_case, config, cache=cache,
                               collect_ir_stats=collect_ir_stats)
 
-    base_run = execute(base_case, seed=seed, machine=machine)
-    cfm_run = execute(cfm_case, seed=seed, machine=machine)
+    base_run = execute(base_case, seed=seed, machine=machine,
+                       trace_label=f"o3:{label}-{block_size}")
+    cfm_run = execute(cfm_case, seed=seed, machine=machine,
+                      trace_label=f"cfm:{label}-{block_size}")
     assert base_run.outputs == cfm_run.outputs, \
         f"{base_case.name}: CFM changed observable outputs"
 

@@ -5,12 +5,22 @@ Two artifacts:
 
 * **pass traces** — JSON-lines of per-pass events (name, seconds,
   changed, IR block/instruction counts before/after), produced from
-  :class:`~repro.transforms.pass_manager.PassTiming` lists;
+  :class:`~repro.transforms.pass_manager.PassTiming` lists (the event
+  shape lives in :mod:`repro.obs.passes`; this module re-exports it);
 * **sweep traces** — one ``sweep_trace.json`` per harness run: for every
   ``(kernel, block size)`` configuration, the wall-clock cost, compile
   breakdown (including cache hits), per-pass events for both arms, and
   the full serialized metrics of both runs.  Written alongside
   ``report.txt`` so perf regressions between PRs are diffable.
+
+Schema v2 additionally embeds a top-level ``traceEvents`` list — the
+merged Chrome trace events of every traced task (pass spans, melding
+decisions, warp divergence timelines).  Because Perfetto ignores unknown
+top-level keys, a v2 ``sweep_trace.json`` loads directly in
+``ui.perfetto.dev`` / ``chrome://tracing`` *and* stays a structured
+sweep record; ``python -m repro.obs report sweep_trace.json`` renders
+its divergence heatmaps.  :func:`load_sweep_trace` reads both v1 (no
+events) and v2 files.
 """
 
 from __future__ import annotations
@@ -19,17 +29,29 @@ import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from repro.obs import COMPILE_PID, SIM_PID_BASE
+from repro.obs import pass_timing_events as _pass_timing_events
 from repro.transforms import PassTiming
 
 from .parallel import TaskResult
 
 #: bump when the trace layout changes; consumers key off this
-SWEEP_TRACE_SCHEMA = "repro.evaluation.sweep_trace/v1"
+SWEEP_TRACE_SCHEMA = "repro.evaluation.sweep_trace/v2"
+#: previous layout (no embedded traceEvents); still readable
+SWEEP_TRACE_SCHEMA_V1 = "repro.evaluation.sweep_trace/v1"
+
+#: task-tracing policies for sweeps: nothing, the first block size of
+#: each kernel (bounded file size), or every task
+TRACE_EVENT_POLICIES = ("off", "first", "all")
 
 
 def pass_trace_events(timings: Sequence[PassTiming]) -> List[Dict[str, object]]:
-    """Serialize pass timings as JSON-ready event dicts."""
-    return [t.as_dict() for t in timings]
+    """Serialize pass timings as JSON-ready event dicts.
+
+    Thin alias of :func:`repro.obs.pass_timing_events`, the single
+    implementation of the event shape.
+    """
+    return _pass_timing_events(timings)
 
 
 def write_pass_trace_jsonl(timings: Sequence[PassTiming], path: str) -> None:
@@ -83,19 +105,75 @@ def task_entry(result: TaskResult) -> Dict[str, object]:
 
 @dataclass
 class SweepTraceCollector:
-    """Accumulates per-task entries across one harness invocation."""
+    """Accumulates per-task entries across one harness invocation.
+
+    Tasks run under their own per-process tracer (each starting at
+    ``COMPILE_PID`` / ``SIM_PID_BASE``), so when a traced task's events
+    arrive the collector rebases them onto collector-unique pids and
+    prefixes every process name with ``<kernel>-<block>:`` — the merged
+    ``traceEvents`` list stays one consistent Perfetto timeline no
+    matter how many tasks contributed.
+    """
 
     workers: int = 1
     timeout: Optional[float] = None
+    #: which tasks run under a tracer — one of TRACE_EVENT_POLICIES
+    #: ("first" = the first block size of each kernel; bounds file size)
+    policy: str = "first"
     sections: Dict[str, List[Dict[str, object]]] = field(default_factory=dict)
+    #: merged Chrome trace events of every traced task (pid-rebased)
+    events: List[Dict[str, object]] = field(default_factory=list)
+    _next_pid: int = SIM_PID_BASE
+
+    def __post_init__(self) -> None:
+        if self.policy not in TRACE_EVENT_POLICIES:
+            raise ValueError(
+                f"unknown trace-events policy {self.policy!r}; expected "
+                f"one of {TRACE_EVENT_POLICIES}")
 
     def record(self, section: str, results: Sequence[TaskResult]) -> None:
         self.sections.setdefault(section, []).extend(
             task_entry(result) for result in results)
+        for result in results:
+            if result.trace_events:
+                self._merge_task_events(result)
+
+    def _merge_task_events(self, result: TaskResult) -> None:
+        label = f"{result.kernel}-{result.block_size}"
+        pid_map: Dict[int, int] = {}
+        named: set = set()
+        for event in result.trace_events:
+            pid = event.get("pid", 0)
+            if pid not in pid_map:
+                pid_map[pid] = self._next_pid
+                self._next_pid += 1
+            rebased = dict(event)
+            rebased["pid"] = pid_map[pid]
+            if rebased.get("ph") == "M" and rebased.get("name") == "process_name":
+                args = dict(rebased.get("args", {}))
+                args["name"] = f"{label}:{args.get('name', '')}"
+                rebased["args"] = args
+                named.add(rebased["pid"])
+            self.events.append(rebased)
+        # The compile pid never names itself; synthesize its metadata so
+        # Perfetto labels the track.
+        for old_pid, new_pid in pid_map.items():
+            if new_pid in named:
+                continue
+            name = "compile" if old_pid == COMPILE_PID else f"pid{old_pid}"
+            self.events.append({
+                "name": "process_name", "ph": "M", "ts": 0,
+                "pid": new_pid, "tid": 0,
+                "args": {"name": f"{label}:{name}"}})
 
     @property
     def task_count(self) -> int:
         return sum(len(entries) for entries in self.sections.values())
+
+    @property
+    def traced_pid_count(self) -> int:
+        """How many task pids have been merged into :attr:`events`."""
+        return self._next_pid - SIM_PID_BASE
 
     def payload(self) -> Dict[str, object]:
         return {
@@ -104,9 +182,30 @@ class SweepTraceCollector:
             "timeout": self.timeout,
             "task_count": self.task_count,
             "sections": self.sections,
+            "traceEvents": self.events,
+            "displayTimeUnit": "ms",
         }
 
     def write(self, path: str) -> None:
         with open(path, "w") as handle:
             json.dump(self.payload(), handle, indent=2)
             handle.write("\n")
+
+
+def load_sweep_trace(path: str) -> Dict[str, object]:
+    """Read a ``sweep_trace.json`` of either schema version.
+
+    v1 files are upgraded in memory: the returned dict always carries a
+    ``traceEvents`` list (empty for v1) and reports the file's original
+    schema under ``"schema"``.
+    """
+    with open(path) as handle:
+        data = json.load(handle)
+    schema = data.get("schema")
+    if schema not in (SWEEP_TRACE_SCHEMA, SWEEP_TRACE_SCHEMA_V1):
+        raise ValueError(
+            f"{path}: unknown sweep-trace schema {schema!r} (readable: "
+            f"{SWEEP_TRACE_SCHEMA_V1}, {SWEEP_TRACE_SCHEMA})")
+    data.setdefault("traceEvents", [])
+    data.setdefault("sections", {})
+    return data

@@ -28,6 +28,7 @@ from repro.core import CFMConfig, CFMPass, CFMStats
 from repro.ir import Function, Module, Type, I32, verify_function
 from repro.kernels.common import KernelCase
 from repro.kernels.dsl import KernelBuilder
+from repro.obs import current_tracer, emit_pass_timing
 from repro.simt import GPU, Buffer, MachineConfig, Metrics
 from repro.transforms import PassTiming, late_pipeline, optimize
 
@@ -92,19 +93,26 @@ def compile(kernel: KernelLike, level: str = "O3",
     function = _as_function(kernel)
     timings: List[PassTiming] = []
     stats: Optional[CFMStats] = None
+    tracer = current_tracer()
 
     start = time.perf_counter()
-    if level == "O3":
-        pipeline = optimize(function)
-        timings.extend(pipeline.timings)
-    if cfm:
-        config = cfm if isinstance(cfm, CFMConfig) else None
-        cfm_pass = CFMPass(config)
-        stats = cfm_pass.run(function).stats
-        timings.append(PassTiming(cfm_pass.name, stats.seconds, stats.changed))
-        late = late_pipeline()
-        late.run(function)
-        timings.extend(late.timings)
+    with tracer.span(f"compile:{function.name}", cat="compile") as span:
+        if level == "O3":
+            pipeline = optimize(function)
+            timings.extend(pipeline.timings)
+        if cfm:
+            config = cfm if isinstance(cfm, CFMConfig) else None
+            cfm_pass = CFMPass(config)
+            stats = cfm_pass.run(function).stats
+            timing = PassTiming(cfm_pass.name, stats.seconds, stats.changed)
+            timings.append(timing)
+            if tracer.enabled:
+                emit_pass_timing(timing, tracer)
+            late = late_pipeline()
+            late.run(function)
+            timings.extend(late.timings)
+        span.set(level=level, cfm=bool(cfm),
+                 melds=len(stats.melds) if stats else 0)
     seconds = time.perf_counter() - start
 
     if verify:
@@ -126,7 +134,8 @@ def launch(module: Union[Module, KernelLike], grid: int, block: int,
            kernel: Optional[str] = None,
            machine: Optional[MachineConfig] = None,
            element_types: Optional[Mapping[str, Type]] = None,
-           gpu: Optional[GPU] = None) -> LaunchResult:
+           gpu: Optional[GPU] = None,
+           trace_label: Optional[str] = None) -> LaunchResult:
     """Launch a kernel over ``grid`` blocks of ``block`` threads.
 
     ``args`` maps parameter names to scalars (Python ints/floats) or
@@ -134,6 +143,10 @@ def launch(module: Union[Module, KernelLike], grid: int, block: int,
     read back into :attr:`LaunchResult.outputs`).  ``kernel`` defaults to
     the module's only function.  Pass an existing :class:`GPU` (see
     ``GPU.reset``) to reuse one machine across many launches.
+
+    Under ``repro.trace(...)`` the launch records per-warp divergence
+    events on its own trace process, named ``trace_label`` (default
+    ``launch:<kernel>``).
     """
     module = _as_module(module)
     if kernel is None:
@@ -158,7 +171,8 @@ def launch(module: Union[Module, KernelLike], grid: int, block: int,
             bound[name] = handles[name]
         else:
             bound[name] = value
-    metrics = device.launch(kernel, grid, block, bound)
+    metrics = device.launch(kernel, grid, block, bound,
+                            trace_label=trace_label)
     outputs = {name: handle.data for name, handle in handles.items()}
     return LaunchResult(outputs=outputs, metrics=metrics)
 

@@ -1,0 +1,53 @@
+"""``python -m repro.obs`` — trace inspection CLI.
+
+Subcommands:
+
+``report TRACE.json``
+    Render the divergence heatmap(s) of a trace produced by
+    ``repro.trace(...)``, ``python -m repro.evaluation --trace`` (the
+    sweep trace embeds ``traceEvents``) or a difftest ``--trace`` run.
+
+``summary TRACE.json``
+    One line per traced launch: divergent / total branch executions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .report import divergence_summary, load_trace_events, render_report
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Inspect traces produced by the repro.obs layer.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    report = sub.add_parser("report", help="render divergence heatmaps")
+    report.add_argument("trace", help="trace JSON (Chrome / sweep v2)")
+
+    summary = sub.add_parser("summary", help="per-launch divergence totals")
+    summary.add_argument("trace", help="trace JSON (Chrome / sweep v2)")
+
+    args = parser.parse_args(argv)
+    events = load_trace_events(args.trace)
+
+    if args.command == "report":
+        print(render_report(events), end="")
+        return 0
+
+    summaries = divergence_summary(events)
+    if not summaries:
+        print("no runtime events")
+        return 1
+    for entry in summaries:
+        print(f"{entry.name}: {entry.divergent_branch_executions} divergent "
+              f"/ {entry.branch_executions} branch executions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

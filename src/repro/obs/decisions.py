@@ -1,0 +1,115 @@
+"""The melding decision log: why each divergent region melded (or not).
+
+Every Algorithm-1 iteration of the CFM pass produces one
+:class:`MeldingDecision` per candidate region: the region entry, the
+§IV-C profitability scores (``FP_S`` for the chosen pair, per-block-pair
+``FP_B``, and the alignment's summed ``FP_I`` saved cycles), the chosen
+subgraph alignment, and the accept/reject reason.  The records live on
+:class:`~repro.core.pass_.CFMStats` (the pass owns them), are emitted as
+instant trace events when a tracer is active, and are embedded into
+difftest corpus entries so a failing seed's repro explains what the
+melder did.
+
+This module defines only the schema — it imports nothing from
+:mod:`repro.core`, which imports *it*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .tracer import COMPILE_PID
+
+#: decision ``action`` values, in the order Algorithm 1 can reach them
+ACTIONS = ("no-path-subgraphs", "no-meldable-pair",
+           "rejected-unprofitable", "melded")
+
+
+@dataclass
+class BlockPairScore:
+    """``FP_B`` of one aligned block pair (``None`` marks the unmatched
+    side of a case-② partial mapping)."""
+
+    true_block: Optional[str]
+    false_block: Optional[str]
+    fp_b: float
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"true_block": self.true_block,
+                "false_block": self.false_block,
+                "fp_b": round(self.fp_b, 6)}
+
+
+@dataclass
+class MeldingDecision:
+    """One candidate divergent region, scored and judged."""
+
+    iteration: int
+    region_entry: str
+    #: one of :data:`ACTIONS`
+    action: str
+    #: human-readable accept/reject explanation
+    reason: str
+    #: Algorithm 1's profitability threshold in force
+    threshold: float
+    #: ``FP_S`` of the best pair found (None when no pair existed)
+    fp_s: Optional[float] = None
+    true_entry: Optional[str] = None
+    false_entry: Optional[str] = None
+    partial: bool = False
+    #: the chosen ordered block mapping ``O`` (block names; None = gap)
+    alignment: List[Tuple[Optional[str], Optional[str]]] = field(default_factory=list)
+    #: per-pair ``FP_B`` over the alignment
+    block_scores: List[BlockPairScore] = field(default_factory=list)
+    #: summed ``FP_I`` over the instruction alignment (estimated cycles saved)
+    fp_i_saved_cycles: Optional[float] = None
+    # ---- post-meld facts (action == "melded" only) -----------------------
+    selects_inserted: int = 0
+    instructions_melded: int = 0
+    instructions_unaligned: int = 0
+    #: §IV-E unpredication split at least one gap run out
+    unpredicated: bool = False
+
+    @property
+    def accepted(self) -> bool:
+        return self.action == "melded"
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-serializable record (trace args, corpus entries)."""
+        record: Dict[str, object] = {
+            "iteration": self.iteration,
+            "region_entry": self.region_entry,
+            "action": self.action,
+            "reason": self.reason,
+            "threshold": self.threshold,
+            "fp_s": None if self.fp_s is None else round(self.fp_s, 6),
+        }
+        if self.true_entry is not None:
+            record.update(
+                true_entry=self.true_entry,
+                false_entry=self.false_entry,
+                partial=self.partial,
+                alignment=[[a, b] for a, b in self.alignment],
+                block_scores=[s.as_dict() for s in self.block_scores],
+                fp_i_saved_cycles=(None if self.fp_i_saved_cycles is None
+                                   else round(self.fp_i_saved_cycles, 6)),
+            )
+        if self.accepted:
+            record.update(
+                selects_inserted=self.selects_inserted,
+                instructions_melded=self.instructions_melded,
+                instructions_unaligned=self.instructions_unaligned,
+                unpredicated=self.unpredicated,
+            )
+        return record
+
+
+def emit_decisions(decisions: List[MeldingDecision], tracer,
+                   tid: int = 0) -> None:
+    """Emit each decision as an instant event on the compile timeline."""
+    if not tracer.enabled:
+        return
+    for decision in decisions:
+        tracer.instant(f"meld:{decision.action}", cat="melding",
+                       pid=COMPILE_PID, tid=tid, args=decision.as_dict())

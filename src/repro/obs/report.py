@@ -1,0 +1,177 @@
+"""Divergence heatmap: render warp-level trace events as text.
+
+``python -m repro.obs report trace.json`` reads any trace this package
+writes — a plain Chrome trace (``{"traceEvents": [...]}``), a bare event
+list, or an evaluation ``sweep_trace.json`` v2 (whose top level embeds
+``traceEvents``) — and prints, per traced launch, a block-level table:
+
+    block        execs   div  rate              cycles  lanes
+    entry            4     2  50.0% █████          120   24.0
+
+``execs``/``div`` count branch executions and how many diverged (the
+per-branch divergence timeline aggregated), ``rate`` their ratio,
+``cycles`` the issue cycles attributed to the block, and ``lanes`` the
+mean active-lane occupancy at block entry.  Comparing the ``-O3`` and
+``-O3+CFM`` launches of one kernel makes melding directly legible:
+divergent branch rows disappear from the melded arm.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+BAR_WIDTH = 10
+
+
+@dataclass
+class BlockStat:
+    """Aggregated runtime behaviour of one basic block in one launch."""
+
+    block: str
+    executions: int = 0
+    branch_executions: int = 0
+    divergent_executions: int = 0
+    cycles: int = 0
+    active_lane_sum: int = 0
+
+    @property
+    def divergence_rate(self) -> float:
+        if self.branch_executions == 0:
+            return 0.0
+        return self.divergent_executions / self.branch_executions
+
+    @property
+    def mean_active_lanes(self) -> float:
+        if self.executions == 0:
+            return 0.0
+        return self.active_lane_sum / self.executions
+
+
+@dataclass
+class LaunchSummary:
+    """Every block's stats for one traced launch (one trace pid)."""
+
+    pid: int
+    name: str
+    blocks: Dict[str, BlockStat] = field(default_factory=dict)
+
+    @property
+    def divergent_branch_executions(self) -> int:
+        return sum(s.divergent_executions for s in self.blocks.values())
+
+    @property
+    def branch_executions(self) -> int:
+        return sum(s.branch_executions for s in self.blocks.values())
+
+    def stat(self, block: str) -> BlockStat:
+        if block not in self.blocks:
+            self.blocks[block] = BlockStat(block=block)
+        return self.blocks[block]
+
+
+def load_trace_events(path: str) -> List[dict]:
+    """Events from a trace file: Chrome object, bare list, or sweep v2."""
+    with open(path) as handle:
+        data = json.load(handle)
+    if isinstance(data, list):
+        return data
+    if isinstance(data, dict) and "traceEvents" in data:
+        return list(data["traceEvents"])
+    raise ValueError(f"{path}: no traceEvents found "
+                     f"(keys: {sorted(data) if isinstance(data, dict) else '?'})")
+
+
+def divergence_summary(events: Sequence[dict]) -> List[LaunchSummary]:
+    """Aggregate runtime (``cat: "sim"``) events per launch pid.
+
+    Block cycle attribution uses the event timeline itself: an ``exec``
+    event opens a block at its cycle timestamp, and the next event on
+    the same warp (thread) closes it — the simulator emits an event at
+    every block entry, so the deltas partition each warp's cycles.
+    """
+    process_names: Dict[int, str] = {}
+    sim_events: Dict[int, Dict[int, List[dict]]] = {}
+    for event in events:
+        if event.get("ph") == "M" and event.get("name") == "process_name":
+            process_names[event["pid"]] = event.get("args", {}).get("name", "")
+            continue
+        if event.get("cat") != "sim" or event.get("ph") != "i":
+            continue
+        per_tid = sim_events.setdefault(event["pid"], {})
+        per_tid.setdefault(event["tid"], []).append(event)
+
+    summaries: List[LaunchSummary] = []
+    for pid in sorted(sim_events):
+        summary = LaunchSummary(pid=pid,
+                                name=process_names.get(pid, f"pid{pid}"))
+        for tid in sorted(sim_events[pid]):
+            _aggregate_warp(summary, sim_events[pid][tid])
+        summaries.append(summary)
+    return summaries
+
+
+def _aggregate_warp(summary: LaunchSummary, events: List[dict]) -> None:
+    open_block: Optional[str] = None
+    open_cycle = 0
+    for event in events:
+        args = event.get("args", {})
+        name = event["name"]
+        cycle = event["ts"]
+        if name == "exec":
+            if open_block is not None:
+                summary.stat(open_block).cycles += max(0, cycle - open_cycle)
+            open_block, open_cycle = args["block"], cycle
+            stat = summary.stat(args["block"])
+            stat.executions += 1
+            stat.active_lane_sum += args.get("active", 0)
+        elif name == "branch":
+            stat = summary.stat(args["block"])
+            stat.branch_executions += 1
+        elif name == "diverge":
+            stat = summary.stat(args["block"])
+            stat.branch_executions += 1
+            stat.divergent_executions += 1
+    # The final open block keeps zero extra cycles: the warp retired there.
+
+
+def render_heatmap(summary: LaunchSummary, min_executions: int = 1) -> str:
+    """One launch's block × divergence-rate × cycles table."""
+    rows = [s for s in summary.blocks.values()
+            if s.executions >= min_executions or s.branch_executions > 0]
+    rows.sort(key=lambda s: (-s.divergent_executions, -s.cycles, s.block))
+    lines = [
+        f"== {summary.name} — divergence heatmap "
+        f"({summary.divergent_branch_executions} divergent of "
+        f"{summary.branch_executions} branch executions) ==",
+        f"{'block':<24} {'execs':>6} {'div':>5}  "
+        f"{'rate':<{BAR_WIDTH + 7}} {'cycles':>8} {'lanes':>6}",
+    ]
+    for stat in rows:
+        bar = "█" * round(stat.divergence_rate * BAR_WIDTH)
+        lines.append(
+            f"{stat.block:<24} {stat.executions:>6} "
+            f"{stat.divergent_executions:>5}  "
+            f"{stat.divergence_rate:>6.1%} {bar:<{BAR_WIDTH}} "
+            f"{stat.cycles:>8} {stat.mean_active_lanes:>6.1f}")
+    if not rows:
+        lines.append("(no runtime events)")
+    return "\n".join(lines)
+
+
+def render_report(events: Sequence[dict]) -> str:
+    """Heatmaps for every traced launch, plus a cross-launch comparison."""
+    summaries = divergence_summary(events)
+    if not summaries:
+        return ("no runtime (cat: \"sim\") events in this trace — "
+                "was the launch run under repro.trace()?")
+    sections = [render_heatmap(s) for s in summaries]
+    if len(summaries) > 1:
+        lines = ["== divergent-branch executions by launch =="]
+        width = max(len(s.name) for s in summaries)
+        for s in summaries:
+            lines.append(f"{s.name:<{width}}  {s.divergent_branch_executions}"
+                         f" divergent / {s.branch_executions} branches")
+        sections.append("\n".join(lines))
+    return "\n\n".join(sections) + "\n"

@@ -20,6 +20,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Union
 from repro.ir.function import Function, Module
 from repro.ir.types import IntType, Type, I32
 from repro.ir.values import Argument
+from repro.obs import WarpTrace, current_tracer, flush_warp_trace
 
 from .config import DEFAULT_CONFIG, MachineConfig
 from .memory import DeviceMemory, Segment
@@ -114,20 +115,31 @@ class GPU:
         grid_dim: int,
         block_dim: int,
         args: Dict[str, object],
+        trace_label: Optional[str] = None,
     ) -> Metrics:
         """Run ``kernel`` over ``grid_dim`` blocks of ``block_dim`` threads.
 
         ``args`` maps parameter names to Python ints/floats or
         :class:`Buffer` handles (passed as device addresses).
+
+        Under an enabled ambient tracer (``repro.obs``) the launch claims
+        its own trace pid (named ``trace_label``, defaulting to
+        ``launch:<kernel>``) and records per-warp divergence events; with
+        the default no-op tracer nothing is allocated.
         """
         function = (self.module.function(kernel)
                     if isinstance(kernel, str) else kernel)
         self.launch_count += 1
         bound = self._bind_args(function, args)
+        tracer = current_tracer()
+        pid = 0
+        if tracer.enabled:
+            pid = tracer.next_launch_pid()
+            tracer.process_name(pid, trace_label or f"launch:{function.name}")
         total = Metrics(warp_size=self.config.warp_size)
         for block_id in range(grid_dim):
             block_metrics = self._run_block(function, block_id, grid_dim,
-                                            block_dim, bound)
+                                            block_dim, bound, tracer, pid)
             total.merge(block_metrics)
         return total
 
@@ -147,14 +159,21 @@ class GPU:
         return bound
 
     def _run_block(self, function: Function, block_id: int, grid_dim: int,
-                   block_dim: int, args: Dict[Argument, object]) -> Metrics:
+                   block_dim: int, args: Dict[Argument, object],
+                   tracer=None, pid: int = 0) -> Metrics:
         view = self.memory.shared_for_block(block_id)
         warp_size = self.config.warp_size
+        tracing = tracer is not None and tracer.enabled
+        traces: List[WarpTrace] = []
         warps: List[Warp] = []
         for start in range(0, block_dim, warp_size):
             lanes = list(range(start, min(start + warp_size, block_dim)))
+            trace = None
+            if tracing:
+                trace = WarpTrace(block_id, len(warps))
+                traces.append(trace)
             warps.append(Warp(function, lanes, block_dim, block_id, grid_dim,
-                              args, view, self.config))
+                              args, view, self.config, trace=trace))
 
         generators = [warp.run() for warp in warps]
         active = list(range(len(warps)))
@@ -178,6 +197,12 @@ class GPU:
         block_metrics = Metrics(warp_size=warp_size)
         for warp in warps:
             block_metrics.merge(warp.metrics)
+        if tracing:
+            # Deterministic thread ids: warps numbered grid-wide in
+            # (block, warp) order, so identical runs emit identical tids.
+            for index, trace in enumerate(traces):
+                tid = block_id * len(warps) + index
+                flush_warp_trace(tracer, pid, tid, trace)
         return block_metrics
 
 
@@ -190,6 +215,7 @@ def run_kernel(
     scalars: Optional[Dict[str, object]] = None,
     element_types: Optional[Dict[str, Type]] = None,
     config: Optional[MachineConfig] = None,
+    trace_label: Optional[str] = None,
 ) -> tuple:
     """One-shot convenience: allocate, launch, and read back.
 
@@ -203,6 +229,7 @@ def run_kernel(
         etype = (element_types or {}).get(name, I32)
         handles[name] = gpu.alloc(name, etype, list(data))
         args[name] = handles[name]
-    metrics = gpu.launch(kernel, grid_dim, block_dim, args)
+    metrics = gpu.launch(kernel, grid_dim, block_dim, args,
+                         trace_label=trace_label)
     outputs = {name: handle.data for name, handle in handles.items()}
     return outputs, metrics

@@ -73,7 +73,22 @@ class Metrics:
     # ---- aggregation ------------------------------------------------------
 
     def merge(self, other: "Metrics") -> None:
-        """Accumulate another warp's counters into this one."""
+        """Accumulate another warp's counters into this one.
+
+        Both sides must agree on ``warp_size`` — ``alu_utilization``
+        divides the pooled active-lane count by one width, so mixing
+        widths would silently skew it.  A side that has not issued any
+        ALU work yet (a freshly-constructed accumulator) adopts the other
+        side's width instead of raising.
+        """
+        if self.warp_size != other.warp_size:
+            if self.alu_issues == 0:
+                self.warp_size = other.warp_size
+            elif other.alu_issues != 0:
+                raise ValueError(
+                    f"cannot merge Metrics with warp_size="
+                    f"{other.warp_size} into warp_size={self.warp_size}: "
+                    f"alu_utilization would be meaningless")
         self.cycles += other.cycles
         self.instructions_issued += other.instructions_issued
         self.alu_issues += other.alu_issues

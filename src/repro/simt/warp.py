@@ -56,6 +56,7 @@ from repro.ir.scalars import (
     eval_icmp,
 )
 from repro.ir.values import Argument, Constant, Undef, Value
+from repro.obs import WarpTrace
 
 from .config import MachineConfig
 from .memory import BlockMemoryView, SHARED_BASE, sizeof
@@ -112,6 +113,7 @@ class Warp:
         memory: BlockMemoryView,
         config: MachineConfig,
         metrics: Optional[Metrics] = None,
+        trace: Optional[WarpTrace] = None,
     ) -> None:
         self.function = function
         self.lanes = list(lane_thread_ids)
@@ -123,6 +125,9 @@ class Warp:
         self.config = config
         self.metrics = metrics if metrics is not None else Metrics()
         self.metrics.warp_size = config.warp_size
+        # Opt-in divergence tracing (repro.obs): None on every untraced
+        # launch, so the hot-path cost is one `is not None` per site.
+        self._trace = trace
         self._registers: Dict[Value, List[object]] = {}
         self._pdt = compute_postdominator_tree(function)
         self._steps = 0
@@ -159,6 +164,10 @@ class Warp:
             entry = stack[-1]
             if entry.rpc is not None and entry.pc is entry.rpc:
                 stack.pop()
+                if self._trace is not None:
+                    self._trace.reconverge(
+                        self.metrics.cycles, entry.rpc.name,
+                        len(stack[-1].mask) if stack else 0)
                 continue
             yield from self._execute_block(entry, stack)
             self._steps += 1
@@ -170,6 +179,8 @@ class Warp:
     def _execute_block(self, entry: _StackEntry, stack: List[_StackEntry]) -> Iterator[str]:
         block = entry.pc
         mask = entry.mask
+        if self._trace is not None:
+            self._trace.exec_block(self.metrics.cycles, block.name, len(mask))
         for instr in block.instructions:
             if isinstance(instr, Phi):
                 continue  # applied on edge transfer
@@ -252,6 +263,9 @@ class Warp:
             target = branch.true_successor
             self.metrics.record_branch(latency, divergent=False,
                                        block_name=block.name, profile=profile)
+            if self._trace is not None:
+                self._trace.branch(self.metrics.cycles, block.name,
+                                   len(entry.mask))
             self._transfer(block, target, entry.mask)
             entry.pc = target
             return
@@ -268,6 +282,9 @@ class Warp:
             target = branch.true_successor if taken else branch.false_successor
             self.metrics.record_branch(latency, divergent=False,
                                        block_name=block.name, profile=profile)
+            if self._trace is not None:
+                self._trace.branch(self.metrics.cycles, block.name,
+                                   len(entry.mask))
             self._transfer(block, target, entry.mask)
             entry.pc = target
             return
@@ -275,6 +292,9 @@ class Warp:
         # Divergence: serialize the two sides, reconverge at the IPDOM.
         self.metrics.record_branch(latency, divergent=True,
                                    block_name=block.name, profile=profile)
+        if self._trace is not None:
+            self._trace.diverge(self.metrics.cycles, block.name,
+                                len(taken), len(not_taken))
         rpc = immediate_postdominator(self._pdt, block)
         entry.pc = rpc  # entry becomes the reconvergence holder
         if rpc is None:

@@ -31,6 +31,11 @@ With ``collect_ir_stats=True`` every :class:`PassTiming` also records the
 IR's block/instruction counts before and after the pass, which the
 evaluation harness serializes into its structured sweep trace (see
 ``repro.evaluation.trace``).
+
+When an ambient tracer is enabled (``repro.obs``), every pass execution
+is additionally emitted as one compile-side span (IR-size deltas in the
+span args, so Perfetto shows the same data the structured trace holds);
+under the default no-op tracer this costs one attribute check per pass.
 """
 
 from __future__ import annotations
@@ -41,6 +46,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.ir.function import Function
 from repro.ir.verifier import verify_function
+from repro.obs import current_tracer, emit_pass_timing, pass_timing_event, \
+    pass_timing_events
 
 FunctionPass = Callable[[Function], bool]
 
@@ -114,20 +121,12 @@ class PassTiming:
     instructions_after: Optional[int] = None
 
     def as_dict(self) -> Dict[str, object]:
-        """JSON-serializable event (one line of the pass trace)."""
-        event: Dict[str, object] = {
-            "pass": self.name,
-            "seconds": self.seconds,
-            "changed": self.changed,
-        }
-        if self.blocks_before is not None:
-            event.update(
-                blocks_before=self.blocks_before,
-                blocks_after=self.blocks_after,
-                instructions_before=self.instructions_before,
-                instructions_after=self.instructions_after,
-            )
-        return event
+        """JSON-serializable event (one line of the pass trace).
+
+        Thin alias of :func:`repro.obs.pass_timing_event`, the single
+        implementation of the event shape.
+        """
+        return pass_timing_event(self)
 
 
 class FixpointError(RuntimeError):
@@ -197,20 +196,23 @@ class PassPipeline:
     def _run_once(self, function: Function) -> bool:
         """One sweep over the pass list, appending to the current scope."""
         changed = False
+        tracer = current_tracer()
         for pass_ in self._passes:
-            if self.collect_ir_stats:
+            if self.collect_ir_stats or tracer.enabled:
                 blocks_before, instrs_before = self._ir_size(function)
             start = time.perf_counter()
             result = pass_.run(function)
             timing = PassTiming(pass_.name, time.perf_counter() - start,
                                 result.changed)
-            if self.collect_ir_stats:
+            if self.collect_ir_stats or tracer.enabled:
                 timing.blocks_before = blocks_before
                 timing.instructions_before = instrs_before
                 timing.blocks_after, timing.instructions_after = \
                     self._ir_size(function)
             self.timings.append(timing)
             self.cumulative_timings.append(timing)
+            if tracer.enabled:
+                emit_pass_timing(timing, tracer)
             changed |= result.changed
             if self.verify:
                 try:
@@ -257,5 +259,8 @@ class PassPipeline:
         return sum(t.seconds for t in self.cumulative_timings)
 
     def trace_events(self) -> List[Dict[str, object]]:
-        """The current scope's timings as JSON-serializable events."""
-        return [t.as_dict() for t in self.timings]
+        """The current scope's timings as JSON-serializable events.
+
+        Thin alias of :func:`repro.obs.pass_timing_events`.
+        """
+        return pass_timing_events(self.timings)

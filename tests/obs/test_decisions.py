@@ -1,0 +1,93 @@
+"""Melding decision log: CFMPass explains every accept and reject."""
+
+from repro.core import CFMConfig, CFMPass
+from repro.obs import ACTIONS, MeldingDecision, Tracer, emit_decisions, use
+
+from tests.support import build_diamond
+
+
+def run_cfm(threshold=None):
+    config = CFMConfig() if threshold is None else CFMConfig(
+        profitability_threshold=threshold)
+    cfm = CFMPass(config)
+    cfm.run(build_diamond(identical=True))
+    return cfm.stats
+
+
+class TestDecisionLog:
+    def test_accepted_meld_is_logged_with_scores(self):
+        stats = run_cfm()
+        melded = [d for d in stats.decisions if d.action == "melded"]
+        assert len(melded) == len(stats.melds) == 1
+        decision = melded[0]
+        assert decision.accepted
+        assert decision.region_entry == "entry"
+        assert decision.fp_s is not None and decision.fp_s > 0.1
+        assert decision.true_entry == "then"
+        assert decision.false_entry == "else"
+        assert decision.alignment, "chosen block mapping must be recorded"
+        assert decision.block_scores, "per-pair FP_B must be recorded"
+        assert decision.fp_i_saved_cycles > 0
+        assert decision.instructions_melded > 0
+        assert "FP_S" in decision.reason and "threshold" in decision.reason
+
+    def test_unprofitable_pair_is_rejected_with_reason(self):
+        stats = run_cfm(threshold=1000.0)
+        assert not stats.melds
+        rejected = [d for d in stats.decisions
+                    if d.action == "rejected-unprofitable"]
+        assert rejected, "a meldable-but-unprofitable region must be logged"
+        decision = rejected[0]
+        assert not decision.accepted
+        assert decision.threshold == 1000.0
+        assert decision.fp_s is not None
+        # Scoring still happened even though the meld was refused.
+        assert decision.alignment and decision.block_scores
+        assert "≤ threshold" in decision.reason
+
+    def test_actions_are_from_the_documented_set(self):
+        for threshold in (None, 1000.0):
+            stats = run_cfm(threshold)
+            for decision in stats.decisions:
+                assert decision.action in ACTIONS
+
+    def test_as_dict_is_json_shaped(self):
+        stats = run_cfm()
+        record = stats.decisions[0].as_dict()
+        for key in ("iteration", "region_entry", "action", "reason",
+                    "threshold", "fp_s"):
+            assert key in record
+        assert record["action"] == "melded"
+        for key in ("alignment", "block_scores", "fp_i_saved_cycles",
+                    "selects_inserted", "instructions_melded",
+                    "unpredicated"):
+            assert key in record
+        assert all(isinstance(pair, list) and len(pair) == 2
+                   for pair in record["alignment"])
+
+    def test_rejected_as_dict_omits_post_meld_facts(self):
+        stats = run_cfm(threshold=1000.0)
+        record = next(d for d in stats.decisions
+                      if d.action == "rejected-unprofitable").as_dict()
+        assert "selects_inserted" not in record
+        assert "block_scores" in record  # scoring facts still present
+
+
+class TestEmitDecisions:
+    def test_pass_emits_instants_under_active_tracer(self):
+        tracer = Tracer()
+        with use(tracer):
+            stats = run_cfm()
+        melding = [e for e in tracer.events if e.get("cat") == "melding"]
+        assert len(melding) == len(stats.decisions)
+        assert melding[0]["name"] == "meld:melded"
+        assert melding[0]["ph"] == "i"
+        assert melding[0]["args"]["region_entry"] == "entry"
+
+    def test_emit_decisions_noop_when_disabled(self):
+        from repro.obs import NULL_TRACER
+        decision = MeldingDecision(
+            iteration=1, region_entry="entry", action="melded",
+            reason="r", threshold=0.1)
+        emit_decisions([decision], NULL_TRACER)  # must not raise or record
+        assert NULL_TRACER.events == ()

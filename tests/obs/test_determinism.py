@@ -1,0 +1,91 @@
+"""Trace determinism: identical inputs produce identical event streams.
+
+Wall-clock fields (``ts``/``dur`` of compile-side events, the
+``seconds`` arg of pass spans) naturally differ between runs; everything
+else — event order, names, categories, pids/tids, simulated-cycle
+timestamps, melding scores — must be bit-identical, or traces are
+useless as diffable artifacts.
+"""
+
+import repro
+from repro.kernels import build_sb1
+from repro.obs import Tracer, use
+from repro.obs.report import divergence_summary, render_report
+
+WALL_CLOCK_KEYS = ("ts", "dur")
+WALL_CLOCK_ARGS = ("seconds",)
+
+
+def normalize(event):
+    """Strip only the wall-clock-derived fields from one trace event."""
+    out = {k: v for k, v in event.items() if k not in WALL_CLOCK_KEYS}
+    if isinstance(out.get("args"), dict):
+        out["args"] = {k: v for k, v in out["args"].items()
+                       if k not in WALL_CLOCK_ARGS}
+    # Simulated-cycle timestamps ARE deterministic: keep them.
+    if event.get("cat") == "sim" or event.get("ph") == "C":
+        out["ts"] = event["ts"]
+    return out
+
+
+def traced_run(block_size=8):
+    tracer = Tracer()
+    with use(tracer):
+        case = build_sb1(block_size)
+        repro.compile(case.module.function(case.kernel), level="O3",
+                      cfm=True)
+        args = dict(case.make_buffers(0))
+        args.update(case.scalars)
+        repro.launch(case.module, case.grid_dim, case.block_dim, args,
+                     kernel=case.kernel, trace_label="cfm:SB1")
+    return tracer
+
+
+class TestDeterminism:
+    def test_two_runs_produce_identical_normalized_events(self):
+        first = [normalize(e) for e in traced_run().events]
+        second = [normalize(e) for e in traced_run().events]
+        assert first == second
+
+    def test_compile_side_event_names_are_stable(self):
+        events = traced_run().events
+        compile_names = [e["name"] for e in events
+                         if e.get("cat") in ("compile", "melding")]
+        assert compile_names == [e["name"] for e in traced_run().events
+                                 if e.get("cat") in ("compile", "melding")]
+        assert any(n.startswith("pass:") for n in compile_names)
+        assert any(n.startswith("meld:") for n in compile_names)
+
+    def test_rendered_report_is_identical_across_runs(self):
+        assert (render_report(traced_run().events)
+                == render_report(traced_run().events))
+
+
+class TestGoldenHeatmap:
+    """SB1's divergence profile is fixed by the simulator's cycle model —
+    pin it, so a silent change to divergence accounting fails loudly."""
+
+    def test_sb1_o3_golden_counts(self):
+        tracer = Tracer()
+        with use(tracer):
+            case = build_sb1(8)
+            repro.compile(case.module.function(case.kernel), level="O3")
+            args = dict(case.make_buffers(0))
+            args.update(case.scalars)
+            repro.launch(case.module, case.grid_dim, case.block_dim, args,
+                         kernel=case.kernel, trace_label="o3:SB1")
+        (summary,) = divergence_summary(tracer.events)
+        # 2 warps (16 threads / block of 8... grid 2 x 1 warp) each run
+        # entry + four diamond ends; entry and three of them diverge.
+        assert summary.divergent_branch_executions == 8
+        assert summary.branch_executions == 24
+        entry = summary.blocks["entry"]
+        assert entry.divergent_executions == 2
+        assert entry.mean_active_lanes == 8.0
+
+    def test_sb1_cfm_golden_counts(self):
+        tracer = traced_run()
+        (summary,) = divergence_summary(tracer.events)
+        # Melding removes every divergent diamond: straight-line code has
+        # no recorded branch executions at all.
+        assert summary.divergent_branch_executions == 0

@@ -1,0 +1,102 @@
+"""Divergence heatmap + the PR's acceptance criterion on a paper kernel.
+
+The acceptance test compiles SB1 (the paper's §VI-A diamond benchmark)
+under ``-O3`` and ``-O3 + CFM``, launches both under one tracer, and
+asserts the melded arm executes *strictly fewer* divergent branches.
+"""
+
+import repro
+from repro.kernels import build_sb1
+from repro.obs import Tracer, use
+from repro.obs.report import (
+    divergence_summary,
+    load_trace_events,
+    render_heatmap,
+    render_report,
+)
+
+
+def traced_sb1_arms(block_size=8):
+    """Compile+launch SB1 under -O3 and -O3+CFM inside one tracer."""
+    tracer = Tracer()
+    with use(tracer):
+        summaries = {}
+        for label, cfm in (("o3", False), ("cfm", True)):
+            case = build_sb1(block_size)
+            repro.compile(case.module.function(case.kernel),
+                          level="O3", cfm=cfm)
+            args = dict(case.make_buffers(0))
+            args.update(case.scalars)
+            repro.launch(case.module, case.grid_dim, case.block_dim, args,
+                         kernel=case.kernel, trace_label=f"{label}:SB1")
+    by_name = {s.name: s for s in divergence_summary(tracer.events)}
+    return tracer, by_name
+
+
+class TestAcceptance:
+    def test_cfm_strictly_reduces_divergent_branch_executions(self):
+        _, arms = traced_sb1_arms()
+        o3, cfm = arms["o3:SB1"], arms["cfm:SB1"]
+        assert o3.divergent_branch_executions > 0, \
+            "-O3 SB1 must diverge, or the comparison is vacuous"
+        assert (cfm.divergent_branch_executions
+                < o3.divergent_branch_executions)
+
+    def test_report_renders_both_arms_with_comparison(self):
+        tracer, _ = traced_sb1_arms()
+        text = render_report(tracer.events)
+        assert "o3:SB1 — divergence heatmap" in text
+        assert "cfm:SB1 — divergence heatmap" in text
+        assert "divergent-branch executions by launch" in text
+
+
+class TestHeatmapRendering:
+    def test_heatmap_rows_and_header(self):
+        _, arms = traced_sb1_arms()
+        text = render_heatmap(arms["o3:SB1"])
+        lines = text.splitlines()
+        assert "divergence heatmap" in lines[0]
+        assert lines[1].split()[:3] == ["block", "execs", "div"]
+        assert len(lines) > 2, "SB1 must produce block rows"
+
+    def test_divergent_blocks_sort_first_and_get_bars(self):
+        _, arms = traced_sb1_arms()
+        o3 = arms["o3:SB1"]
+        divergent = [s.block for s in o3.blocks.values()
+                     if s.divergent_executions > 0]
+        assert divergent
+        lines = render_heatmap(o3).splitlines()
+        first_row = lines[2]
+        assert first_row.split()[0] in divergent
+        assert "█" in first_row
+
+    def test_empty_summary_renders_placeholder(self):
+        from repro.obs.report import LaunchSummary
+        text = render_heatmap(LaunchSummary(pid=10, name="empty"))
+        assert "(no runtime events)" in text
+
+    def test_report_on_trace_without_sim_events_explains_itself(self):
+        text = render_report([{"name": "compile:k", "ph": "X", "ts": 0,
+                               "dur": 1, "pid": 1, "tid": 0}])
+        assert "no runtime" in text
+
+
+class TestLoadTraceEvents:
+    def test_reads_chrome_object_and_bare_list(self, tmp_path):
+        tracer = Tracer()
+        tracer.instant("evt", cat="sim")
+        chrome = tmp_path / "chrome.json"
+        tracer.write(str(chrome))
+        assert [e["name"] for e in load_trace_events(str(chrome))] == ["evt"]
+
+        bare = tmp_path / "bare.json"
+        bare.write_text('[{"name": "evt2", "ph": "i", "ts": 0, '
+                        '"pid": 1, "tid": 0}]')
+        assert [e["name"] for e in load_trace_events(str(bare))] == ["evt2"]
+
+    def test_rejects_json_without_events(self, tmp_path):
+        import pytest
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"schema": "something-else"}')
+        with pytest.raises(ValueError):
+            load_trace_events(str(bad))

@@ -1,0 +1,144 @@
+"""Warp-level runtime tracing: opt-in events, allocation-free when off."""
+
+import pytest
+
+import repro.obs.runtime as runtime_mod
+from repro.obs import (
+    SIM_PID_BASE,
+    Tracer,
+    WarpTrace,
+    flush_warp_trace,
+    use,
+)
+from repro.simt import run_kernel
+
+from tests.support import parse
+
+DIVERGENT = """
+define void @k(i32 addrspace(1)* %p, i32 %n) {
+entry:
+  %tid = call i32 @llvm.gpu.tid.x()
+  %c = icmp slt i32 %tid, %n
+  br i1 %c, label %a, label %b
+a:
+  %pa = getelementptr i32, i32 addrspace(1)* %p, i32 %tid
+  store i32 1, i32 addrspace(1)* %pa
+  br label %m
+b:
+  br label %m
+m:
+  ret void
+}
+"""
+
+
+def launch(n=3, trace_label=None):
+    f = parse(DIVERGENT)
+    return run_kernel(f.module, "k", 1, 8, buffers={"p": [0] * 8},
+                      scalars={"n": n}, trace_label=trace_label)
+
+
+def sim_events(tracer, name=None):
+    events = [e for e in tracer.events if e.get("cat") == "sim"]
+    if name is not None:
+        events = [e for e in events if e["name"] == name]
+    return events
+
+
+class TestTracedLaunch:
+    def test_divergent_launch_records_exec_diverge_reconverge(self):
+        tracer = Tracer()
+        with use(tracer):
+            launch(n=3)
+        names = {e["name"] for e in sim_events(tracer)}
+        assert "exec" in names
+        assert "diverge" in names
+        assert "reconverge" in names
+
+    def test_uniform_launch_records_branch_but_no_divergence(self):
+        tracer = Tracer()
+        with use(tracer):
+            launch(n=100)
+        names = {e["name"] for e in sim_events(tracer)}
+        assert "exec" in names and "branch" in names
+        assert "diverge" not in names
+
+    def test_diverge_event_carries_lane_split(self):
+        tracer = Tracer()
+        with use(tracer):
+            launch(n=3)
+        (diverge,) = sim_events(tracer, "diverge")
+        assert diverge["args"]["block"] == "entry"
+        assert diverge["args"]["divergent"] is True
+        assert diverge["args"]["taken"] == 3
+        assert diverge["args"]["not_taken"] == 5
+        assert diverge["pid"] == SIM_PID_BASE
+
+    def test_timestamps_are_simulated_cycles(self):
+        tracer = Tracer()
+        with use(tracer):
+            _, metrics = launch(n=3)
+        events = sim_events(tracer)
+        assert all(e["ts"] <= metrics.cycles for e in events)
+        execs = sim_events(tracer, "exec")
+        assert [e["ts"] for e in execs] == sorted(e["ts"] for e in execs)
+
+    def test_launch_gets_named_process_and_warp_threads(self):
+        tracer = Tracer()
+        with use(tracer):
+            launch(n=3, trace_label="my-launch")
+        meta = [e for e in tracer.events if e["ph"] == "M"]
+        process = next(e for e in meta
+                       if e["name"] == "process_name"
+                       and e["pid"] == SIM_PID_BASE)
+        assert process["args"]["name"] == "my-launch"
+        threads = [e for e in meta if e["name"] == "thread_name"]
+        assert any(e["args"]["name"] == "block0/warp0" for e in threads)
+
+    def test_active_lanes_counter_tracks_mask_width(self):
+        tracer = Tracer()
+        with use(tracer):
+            launch(n=3)
+        counters = [e for e in tracer.events if e["ph"] == "C"]
+        assert all(e["name"] == "active_lanes" for e in counters)
+        widths = {e["args"]["active"] for e in counters}
+        assert 8 in widths          # full warp in entry/merge
+        assert {3, 5} & widths      # divergent arms
+
+
+class TestDisabledPathAllocatesNothing:
+    def test_untraced_launch_builds_no_trace_objects(self, monkeypatch):
+        def boom(self, *args, **kwargs):
+            raise AssertionError("constructed on the disabled path")
+
+        monkeypatch.setattr(runtime_mod.WarpTrace, "__init__", boom)
+        outputs, _ = launch(n=3)  # no ambient tracer installed
+        assert outputs["p"][:3] == [1, 1, 1]
+
+    def test_untraced_launch_emits_nothing(self):
+        from repro.obs import NULL_TRACER, current_tracer
+        assert current_tracer() is NULL_TRACER
+        launch(n=3)
+        assert NULL_TRACER.events == ()
+
+
+class TestWarpTraceSink:
+    def test_flush_renders_compact_tuples_as_events(self):
+        trace = WarpTrace(block_id=1, warp_index=0)
+        trace.exec_block(0, "entry", 8)
+        trace.branch(4, "entry", 8)
+        trace.diverge(4, "entry", 3, 5)
+        trace.reconverge(9, "m", 8)
+        tracer = Tracer()
+        flush_warp_trace(tracer, pid=SIM_PID_BASE, tid=7, trace=trace)
+        names = [e["name"] for e in tracer.events if e.get("cat") == "sim"]
+        assert names == ["exec", "branch", "diverge", "reconverge"]
+        assert all(e["tid"] == 7 for e in tracer.events
+                   if e.get("cat") == "sim")
+
+    def test_flush_on_disabled_tracer_is_noop(self):
+        from repro.obs import NULL_TRACER
+        trace = WarpTrace(block_id=0, warp_index=0)
+        trace.exec_block(0, "entry", 8)
+        flush_warp_trace(NULL_TRACER, pid=SIM_PID_BASE, tid=0, trace=trace)
+        assert NULL_TRACER.events == ()

@@ -1,0 +1,150 @@
+"""Tracer core: span nesting, Chrome event validity, the null singleton."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    COMPILE_PID,
+    NULL_TRACER,
+    NullTracer,
+    SIM_PID_BASE,
+    Tracer,
+    current_tracer,
+    set_tracer,
+    trace,
+    use,
+)
+
+REQUIRED_KEYS = ("name", "ph", "ts", "pid", "tid")
+
+
+def make_clock(step=10.0):
+    state = {"t": 0.0}
+
+    def clock():
+        state["t"] += step
+        return state["t"]
+
+    return clock
+
+
+class TestTracer:
+    def test_span_emits_complete_event(self):
+        tracer = Tracer(clock=make_clock())
+        with tracer.span("compile:k", cat="compile") as span:
+            span.set(level="O3")
+        assert len(tracer.events) == 1
+        event = tracer.events[0]
+        assert event["name"] == "compile:k"
+        assert event["ph"] == "X"
+        assert event["dur"] == pytest.approx(10.0)
+        assert event["args"] == {"level": "O3"}
+
+    def test_nested_spans_order_and_timestamps(self):
+        tracer = Tracer(clock=make_clock())
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        # Inner exits first, so it is recorded first; its interval nests
+        # inside the outer one.
+        inner, outer = tracer.events
+        assert inner["name"] == "inner" and outer["name"] == "outer"
+        assert outer["ts"] < inner["ts"]
+        assert outer["ts"] + outer["dur"] > inner["ts"] + inner["dur"]
+
+    def test_every_event_kind_has_required_chrome_keys(self):
+        tracer = Tracer(clock=make_clock())
+        with tracer.span("s"):
+            pass
+        tracer.instant("i", args={"x": 1})
+        tracer.counter("c", {"v": 2})
+        tracer.process_name(SIM_PID_BASE, "launch")
+        tracer.thread_name(SIM_PID_BASE, 0, "warp0")
+        assert len(tracer.events) == 5
+        for event in tracer.events:
+            for key in REQUIRED_KEYS:
+                assert key in event, (event, key)
+        assert {e["ph"] for e in tracer.events} == {"X", "i", "C", "M"}
+
+    def test_instant_scope_is_thread(self):
+        tracer = Tracer(clock=make_clock())
+        tracer.instant("evt")
+        assert tracer.events[0]["s"] == "t"
+
+    def test_payload_and_write_are_perfetto_loadable(self, tmp_path):
+        tracer = Tracer(clock=make_clock())
+        tracer.instant("evt")
+        path = tmp_path / "trace.json"
+        tracer.write(str(path), extra={"custom": {"k": 1}})
+        data = json.loads(path.read_text())
+        assert isinstance(data["traceEvents"], list)
+        assert data["custom"] == {"k": 1}
+
+    def test_launch_pids_are_deterministic_per_tracer(self):
+        a, b = Tracer(), Tracer()
+        assert [a.next_launch_pid() for _ in range(3)] == \
+            [SIM_PID_BASE, SIM_PID_BASE + 1, SIM_PID_BASE + 2]
+        assert b.next_launch_pid() == SIM_PID_BASE
+
+    def test_compile_pid_distinct_from_launch_pids(self):
+        assert COMPILE_PID < SIM_PID_BASE
+
+
+class TestNullTracer:
+    def test_singleton_is_disabled_and_inert(self):
+        assert NULL_TRACER.enabled is False
+        assert NULL_TRACER.events == ()
+        assert isinstance(NULL_TRACER, NullTracer)
+
+    def test_null_span_is_shared_and_noop(self):
+        span_a = NULL_TRACER.span("a")
+        span_b = NULL_TRACER.span("b", cat="x", pid=5, tid=6, args={"k": 1})
+        assert span_a is span_b  # no allocation per call
+        with span_a as s:
+            s.set(anything="goes")
+        assert NULL_TRACER.events == ()
+
+    def test_all_recording_methods_are_noops(self):
+        NULL_TRACER.complete("x", 1.0)
+        NULL_TRACER.instant("x")
+        NULL_TRACER.counter("x", {"v": 1})
+        NULL_TRACER.process_name(1, "p")
+        NULL_TRACER.thread_name(1, 0, "t")
+        assert NULL_TRACER.next_launch_pid() == SIM_PID_BASE
+        assert NULL_TRACER.events == ()
+
+
+class TestAmbientTracer:
+    def test_default_is_null(self):
+        assert current_tracer() is NULL_TRACER
+
+    def test_use_installs_and_restores(self):
+        tracer = Tracer()
+        with use(tracer):
+            assert current_tracer() is tracer
+        assert current_tracer() is NULL_TRACER
+
+    def test_use_restores_on_exception(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with use(tracer):
+                raise RuntimeError("boom")
+        assert current_tracer() is NULL_TRACER
+
+    def test_set_tracer_none_reinstalls_null(self):
+        previous = set_tracer(None)
+        assert previous is NULL_TRACER
+        assert current_tracer() is NULL_TRACER
+
+    def test_trace_writes_chrome_json(self, tmp_path):
+        path = tmp_path / "t.json"
+        with trace(str(path)) as tracer:
+            tracer.instant("evt")
+        data = json.loads(path.read_text())
+        assert [e["name"] for e in data["traceEvents"]] == ["evt"]
+
+    def test_trace_without_path_keeps_events(self):
+        with trace() as tracer:
+            tracer.instant("evt")
+        assert [e["name"] for e in tracer.events] == ["evt"]

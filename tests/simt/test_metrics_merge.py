@@ -1,0 +1,43 @@
+"""Regression tests for Metrics.merge across mismatched warp widths.
+
+``alu_utilization`` divides pooled active lanes by one ``warp_size``, so
+silently merging two widths skews it.  A fresh accumulator (no ALU work
+yet) adopts the other side's width; two sides that have both counted
+work must refuse to merge.
+"""
+
+import pytest
+
+from repro.simt import Metrics
+
+
+def busy(warp_size, issues=2):
+    metrics = Metrics(warp_size=warp_size)
+    for _ in range(issues):
+        metrics.record_alu(active_lanes=warp_size, latency=4)
+    return metrics
+
+
+class TestWarpSizeMismatch:
+    def test_fresh_accumulator_adopts_other_width(self):
+        accumulator = Metrics(warp_size=32)
+        accumulator.merge(busy(16))
+        assert accumulator.warp_size == 16
+        assert accumulator.alu_utilization == 1.0
+
+    def test_empty_other_side_keeps_own_width(self):
+        metrics = busy(16)
+        metrics.merge(Metrics(warp_size=32))
+        assert metrics.warp_size == 16
+        assert metrics.alu_utilization == 1.0
+
+    def test_both_counted_raises(self):
+        metrics = busy(32)
+        with pytest.raises(ValueError, match="warp_size"):
+            metrics.merge(busy(16))
+
+    def test_matching_widths_accumulate(self):
+        metrics = busy(16)
+        metrics.merge(busy(16))
+        assert metrics.alu_issues == 4
+        assert metrics.alu_utilization == 1.0
