@@ -1,9 +1,11 @@
 """Reproduction of DARM/CFM: Control-Flow Melding for SIMT Thread
 Divergence Reduction (CGO 2022).
 
-``import repro`` is the public API.  The three facade entry points —
-:func:`repro.compile`, :func:`repro.launch`, :func:`repro.meld` — cover
-the whole compile-and-run story, and everything else a client needs
+``import repro`` is the public API.  The facade entry points —
+:func:`repro.compile`, :func:`repro.launch`, :func:`repro.meld`,
+:func:`repro.analyze` (divergence analysis) and the callable
+:mod:`repro.lint` package (semantic diagnostics) — cover the whole
+compile-analyze-run story, and everything else a client needs
 (the kernel DSL, the benchmark builders, the evaluation harness, the
 Table-I baselines, pass infrastructure, printer/parser/verifier) is
 re-exported here; ``__all__`` below is the supported surface.  Clients
@@ -22,6 +24,8 @@ Internal layout:
 * :mod:`repro.kernels` — the paper's benchmark kernels in a builder DSL;
 * :mod:`repro.evaluation` — harness regenerating every table and figure;
 * :mod:`repro.difftest` — differential fuzzing of all of the above;
+* :mod:`repro.lint` — divergence-aware static diagnostics (barrier
+  divergence, shared-memory races, meld legality) with a CLI;
 * :mod:`repro.obs` — span-based tracing (compile passes, melding
   decisions, warp divergence) behind :func:`repro.trace`.
 """
@@ -43,10 +47,13 @@ from repro.ir import (
 )
 from repro.ir.dot import function_to_dot, melding_stages_to_dot
 from repro.analysis import (
+    DivergenceInfo,
+    cached_divergence,
     compute_divergence,
     compute_dominator_tree,
     compute_postdominator_tree,
     immediate_postdominator,
+    invalidate_divergence,
 )
 from repro.transforms import (
     FixpointError,
@@ -122,10 +129,14 @@ from repro.facade import (
     COMPILE_LEVELS,
     CompileReport,
     LaunchResult,
+    analyze,
     compile,
     launch,
     meld,
 )
+# ``repro.lint`` is both a subpackage and a callable facade verb: the
+# import binds the (callable) module object as the ``lint`` attribute.
+from repro import lint
 from repro.obs import (
     NullTracer,
     Tracer,
@@ -135,7 +146,7 @@ from repro.obs import (
 
 __all__ = [
     # facade verbs
-    "compile", "launch", "meld",
+    "compile", "launch", "meld", "analyze", "lint",
     "CompileReport", "LaunchResult", "COMPILE_LEVELS",
     # observability (repro.obs)
     "trace", "Tracer", "NullTracer", "current_tracer",
@@ -145,7 +156,8 @@ __all__ = [
     "verify_function", "VerificationError",
     "function_to_dot", "melding_stages_to_dot",
     # analyses
-    "compute_divergence", "compute_dominator_tree",
+    "DivergenceInfo", "compute_divergence", "cached_divergence",
+    "invalidate_divergence", "compute_dominator_tree",
     "compute_postdominator_tree", "immediate_postdominator",
     # pass infrastructure & standard transforms
     "Pass", "PassResult", "PassPipeline", "PassTiming", "FixpointError",

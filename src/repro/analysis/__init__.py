@@ -18,7 +18,12 @@ from .dominators import (
 )
 from .regions import Region, is_region, region_blocks, smallest_region_containing
 from .loops import Loop, LoopInfo, compute_loop_info
-from .divergence import DivergenceInfo, compute_divergence
+from .divergence import (
+    DivergenceInfo,
+    cached_divergence,
+    compute_divergence,
+    invalidate_divergence,
+)
 from .latency import DEFAULT_LATENCY_MODEL, LatencyModel
 
 __all__ = [
@@ -29,5 +34,6 @@ __all__ = [
     "Region", "is_region", "region_blocks", "smallest_region_containing",
     "Loop", "LoopInfo", "compute_loop_info",
     "DivergenceInfo", "compute_divergence",
+    "cached_divergence", "invalidate_divergence",
     "DEFAULT_LATENCY_MODEL", "LatencyModel",
 ]

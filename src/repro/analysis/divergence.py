@@ -28,7 +28,8 @@ divergent branch.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Set
+import weakref
+from typing import Dict, Iterable, Optional, Set, Tuple
 
 from repro.ir.block import BasicBlock
 from repro.ir.function import Function
@@ -44,6 +45,7 @@ from repro.ir.instructions import (
 from repro.ir.values import Argument, Value
 
 from .cfg import reachable_from
+from .dominators import compute_postdominator_tree, immediate_postdominator
 
 
 class DivergenceInfo:
@@ -94,6 +96,10 @@ def compute_divergence(
         if isinstance(instr, Call) and instr.callee in IntrinsicName.THREAD_ID_SOURCES:
             divergent.add(instr)
 
+    # The CFG is immutable during the fixpoint; share one PDT across
+    # every branch's join computation.
+    pdt = compute_postdominator_tree(function)
+
     changed = True
     while changed:
         changed = False
@@ -119,7 +125,7 @@ def compute_divergence(
             if block in processed_branches:
                 continue
             processed_branches.add(block)
-            for join in _join_blocks(block):
+            for join in _join_blocks(block, pdt):
                 for phi in join.phis:
                     if phi not in divergent:
                         divergent.add(phi)
@@ -129,6 +135,49 @@ def compute_divergence(
             changed = True
 
     return DivergenceInfo(function, divergent, divergent_branch_blocks)
+
+
+# ---------------------------------------------------------------------------
+# Per-function memoization.
+#
+# The fixpoint is the most expensive analysis in the repo and at least
+# three consumers want the same answer for the same IR: the CFM pass, the
+# lint rules, and facade callers (``repro.analyze``).  The cache is keyed
+# weakly on the Function (no lifetime coupling) and guarded by a cheap
+# structural fingerprint so an *unchanged* function hits while any pass
+# that adds/removes blocks or instructions naturally misses.  The
+# fingerprint cannot see in-place operand rewrites, so mutating callers
+# (PassPipeline between passes, CFM after each meld) must also call
+# :func:`invalidate_divergence` explicitly.
+
+_divergence_cache: "weakref.WeakKeyDictionary[Function, Tuple[tuple, DivergenceInfo]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def _fingerprint(function: Function) -> tuple:
+    return tuple((id(block), len(block)) for block in function.blocks)
+
+
+def cached_divergence(function: Function) -> DivergenceInfo:
+    """Memoized :func:`compute_divergence` (default ``divergent_args``).
+
+    Consumers that share the default-seeded analysis (lint, CFM, the
+    facade's ``repro.analyze``) go through here so one compile runs the
+    fixpoint once, not once per consumer.
+    """
+    token = _fingerprint(function)
+    hit = _divergence_cache.get(function)
+    if hit is not None and hit[0] == token:
+        return hit[1]
+    info = compute_divergence(function)
+    _divergence_cache[function] = (token, info)
+    return info
+
+
+def invalidate_divergence(function: Function) -> None:
+    """Drop the cached analysis for ``function`` (call after mutating it)."""
+    _divergence_cache.pop(function, None)
 
 
 def _mark_temporal_divergence(function: Function, divergent: Set[Value],
@@ -158,16 +207,34 @@ def _has_divergent_operand(instr: Instruction, divergent: Set[Value]) -> bool:
     return any(op in divergent for op in instr.operands)
 
 
-def _join_blocks(branch_block: BasicBlock) -> Set[BasicBlock]:
-    """Over-approximated join points of the branch in ``branch_block``."""
+def _join_blocks(branch_block: BasicBlock,
+                 pdt=None) -> Set[BasicBlock]:
+    """Join points of the branch in ``branch_block``.
+
+    Joins are multi-predecessor blocks reachable from two successors on
+    paths that do not pass *through* the branch's immediate
+    post-dominator, plus the IPDOM itself when it merges control flow.
+    The IPDOM cut mirrors the SIMT machine exactly: the simulator's warp
+    scheduler reconverges split lanes at the IPDOM, so beyond it the
+    "which successor was taken" token is dead and cannot make a φ
+    divergent.  In particular a *uniform* loop around the branch no
+    longer sees its header φs tainted through the backedge (the old
+    over-approximation); divergent loop *exits* are still handled by
+    :func:`_mark_temporal_divergence`.
+    """
     succs = branch_block.succs
     if len(succs) < 2:
         return set()
-    reach = [reachable_from(s) | {s} for s in succs]
+    if pdt is None:
+        pdt = compute_postdominator_tree(branch_block.parent)
+    rpc = immediate_postdominator(pdt, branch_block)
+    reach = [reachable_from(s, stop=rpc) | {s} for s in succs]
     joined: Set[BasicBlock] = set()
     for i in range(len(reach)):
         for j in range(i + 1, len(reach)):
             for block in reach[i] & reach[j]:
                 if len(block.preds) >= 2:
                     joined.add(block)
+    if rpc is not None and len(rpc.preds) >= 2:
+        joined.add(rpc)
     return joined

@@ -61,6 +61,10 @@ class MeldResult:
     selects_inserted: int = 0
     instructions_melded: int = 0
     instructions_unaligned: int = 0
+    #: names of guard blocks unpredication split out for *side-effecting*
+    #: runs (filled by :func:`repro.core.unpredication.unpredicate`; the
+    #: lint meld-legality audit checks each stays behind its guard)
+    guarded_side_effect_blocks: List[str] = field(default_factory=list)
 
 
 def _values_equal(a: Value, b: Value) -> bool:

@@ -17,7 +17,7 @@ import time
 from dataclasses import dataclass, field
 from typing import List, Optional
 
-from repro.analysis.divergence import compute_divergence
+from repro.analysis.divergence import cached_divergence, invalidate_divergence
 from repro.analysis.dominators import compute_postdominator_tree
 from repro.analysis.latency import DEFAULT_LATENCY_MODEL, LatencyModel
 from repro.ir.function import Function
@@ -160,7 +160,9 @@ def _meld_one(function: Function, config: CFMConfig, stats: CFMStats) -> bool:
     ``stats.decisions`` — the structured log of why the region melded or
     was passed over.
     """
-    divergence = compute_divergence(function)
+    # Shared memo: a lint / facade analyze() of the same unchanged IR
+    # reuses this fixpoint instead of re-running it.
+    divergence = cached_divergence(function)
     pdt = compute_postdominator_tree(function)
 
     for block in function.blocks:
@@ -181,6 +183,7 @@ def _meld_one(function: Function, config: CFMConfig, stats: CFMStats) -> bool:
         changed_t = simplify_path_subgraphs(function, true_subs)
         changed_f = simplify_path_subgraphs(function, false_subs)
         if changed_t or changed_f:
+            invalidate_divergence(function)
             # Region simplification only inserts forwarding exit blocks;
             # the subgraph descriptors were updated in place and the
             # melder does not consult the stale post-dominator tree.
@@ -196,6 +199,9 @@ def _meld_one(function: Function, config: CFMConfig, stats: CFMStats) -> bool:
                 threshold=config.profitability_threshold))
             continue
         decision = _score_pair(stats.iterations, region, pair, config)
+        # Stamped from the analysis (not from region selection), so the
+        # lint meld-legality audit has an independent fact to check.
+        decision.branch_divergent = divergence.has_divergent_branch(region.entry)
         if pair.profitability <= config.profitability_threshold:
             stats.pairs_rejected_unprofitable += 1
             decision.action = "rejected-unprofitable"
@@ -213,6 +219,7 @@ def _meld_one(function: Function, config: CFMConfig, stats: CFMStats) -> bool:
             unpredicated = unpredicate(function, result,
                                        config.split_pure_runs)
         _post_optimize(function)
+        invalidate_divergence(function)
 
         decision.action = "melded"
         decision.reason = (
@@ -222,6 +229,7 @@ def _meld_one(function: Function, config: CFMConfig, stats: CFMStats) -> bool:
         decision.instructions_melded = result.instructions_melded
         decision.instructions_unaligned = result.instructions_unaligned
         decision.unpredicated = unpredicated
+        decision.guard_blocks = list(result.guarded_side_effect_blocks)
         stats.decisions.append(decision)
 
         stats.melds.append(MeldRecord(

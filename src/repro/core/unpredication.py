@@ -82,6 +82,8 @@ def _unpredicate_block(function: Function, block: BasicBlock,
         tail = _split_after(function, current, instrs[-1],
                             f"{block.name}.tail")
         guarded = function.add_block(f"{block.name}.{side.value}", after=current)
+        if any(not i.is_speculatable for i in instrs):
+            result.guarded_side_effect_blocks.append(guarded.name)
         for instr in instrs:
             instr.parent._remove_instruction(instr)
             instr.parent = guarded

@@ -24,6 +24,17 @@ The bugs are semantic classics for this codebase:
     IR, caught by ``verify_function`` via the pipeline's
     ``verify_after_each`` hook (a *verifier-class* failure attributed to
     the guilty pass, rather than an output mismatch).
+
+``drop-barrier``
+    DCE treats one barrier call as dead and deletes it.  The IR stays
+    well-formed (the verifier is blind), and with one warp per block
+    the simulator is blind too — barrier semantics are vacuous inside a
+    warp, so every arm still produces bit-identical outputs.  Only the
+    *differential-lint* oracle sees it: deleting the barrier between
+    the generator's ``shared_stage`` store and its permuted load opens
+    a divergent shared-memory race, a new ``shared-memory-race`` ERROR
+    the pre-pass IR did not carry, attributed to the DCE pass (a
+    *lint-class* failure).
 """
 
 from __future__ import annotations
@@ -32,7 +43,8 @@ import contextlib
 from typing import Callable, Dict, Iterator
 
 import repro.core.melder as _melder
-from repro.ir.instructions import Select
+import repro.transforms as _transforms
+from repro.ir.instructions import Call, Select
 
 
 def _swapped_select(condition, true_value, false_value, name=""):
@@ -77,10 +89,37 @@ def _inject_drop_undef_phi() -> Iterator[None]:
         _melder.Melder._wire_phi = original
 
 
+def _dce_dropping_barrier(function) -> bool:
+    changed = _original_dce(function)
+    for block in function.blocks:
+        for instr in block.instructions:
+            if isinstance(instr, Call) and instr.is_barrier:
+                instr.erase_from_parent()
+                return True
+    return changed
+
+
+_original_dce = _transforms.eliminate_dead_code
+
+
+@contextlib.contextmanager
+def _inject_drop_barrier() -> Iterator[None]:
+    # Pipelines bind the "dce" / "late-dce" steps from the
+    # ``repro.transforms`` namespace when they are *built*, and the
+    # difftest oracle builds fresh pipelines per arm — patching the
+    # package attribute is the right seam.
+    _transforms.eliminate_dead_code = _dce_dropping_barrier
+    try:
+        yield
+    finally:
+        _transforms.eliminate_dead_code = _original_dce
+
+
 #: name -> context manager factory; ``with BUGS[name]():`` activates it
 BUGS: Dict[str, Callable[[], "contextlib.AbstractContextManager[None]"]] = {
     "swap-select": _inject_swap_select,
     "drop-undef-phi": _inject_drop_undef_phi,
+    "drop-barrier": _inject_drop_barrier,
 }
 
 

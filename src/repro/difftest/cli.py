@@ -136,6 +136,7 @@ def _campaign_body(args: argparse.Namespace, arms: Sequence[str],
     elapsed = time.perf_counter() - start
     mismatches = sum(v.mismatches for v in failing)
     verifier_failures = sum(v.verifier_failures for v in failing)
+    lint_failures = sum(v.lint_failures for v in failing)
     crashes = sum(1 for v in failing
                   for f in v.failures if f.kind == "crash")
     print(f"difftest: {tested} kernels x {len(arms)} arms in {elapsed:.1f}s "
@@ -143,6 +144,7 @@ def _campaign_body(args: argparse.Namespace, arms: Sequence[str],
           f"{total_melds} melds)")
     print(f"  output mismatches:  {mismatches}")
     print(f"  verifier failures:  {verifier_failures}")
+    print(f"  lint failures:      {lint_failures}")
     print(f"  crashes:            {crashes}")
     if failing:
         print(f"  repros written to:  {args.corpus_dir}/")

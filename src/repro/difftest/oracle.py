@@ -13,10 +13,19 @@ arm             pipeline
 ==============  ============================================================
 
 — with ``verify_function`` run after **every** pass (the
-``verify_after_each`` hook of :class:`~repro.transforms.PassPipeline`),
-then launched on the SIMT machine over several deterministic input sets.
-Device memory is compared bit-for-bit against the ``noopt`` arm; any
-difference, verifier error or simulator trap becomes a
+``verify_after_each`` hook of :class:`~repro.transforms.PassPipeline`)
+and the :mod:`repro.lint` rules differenced after every pass (the
+symmetric ``lint_after_each`` hook): a pass that *introduces* an
+error-severity diagnostic the previous IR did not carry — a barrier
+moved under divergent control flow, a shared-memory race opened by a
+deleted barrier — fails the arm with kind ``"lint"`` and the guilty
+pass attached, even when the simulator cannot observe the hazard (a
+one-warp block makes a dropped barrier semantically invisible).  After
+compilation the ``o3-cfm`` arm additionally runs the meld-legality
+audit over the pass's decision log.  The kernels are then launched on
+the SIMT machine over several deterministic input sets.  Device memory
+is compared bit-for-bit against the ``noopt`` arm; any difference,
+verifier error, lint regression or simulator trap becomes a
 :class:`Failure` carrying the arm, the guilty pass (when known) and the
 first diverging buffer index.
 
@@ -58,7 +67,7 @@ class Failure:
     """One way one arm disagreed with the reference."""
 
     arm: str
-    #: "mismatch" | "verifier" | "crash"
+    #: "mismatch" | "verifier" | "lint" | "crash"
     kind: str
     detail: str
     #: pass that broke the IR (verifier failures only)
@@ -108,6 +117,10 @@ class Verdict:
     def verifier_failures(self) -> int:
         return sum(1 for f in self.failures if f.kind == "verifier")
 
+    @property
+    def lint_failures(self) -> int:
+        return sum(1 for f in self.failures if f.kind == "lint")
+
 
 class _PassVerifier:
     """``verify_after_each`` hook that counts and attributes failures."""
@@ -131,13 +144,49 @@ class PassVerificationError(Exception):
         super().__init__(f"IR invalid after pass {pass_name!r}: {cause}")
 
 
+class PassLintError(Exception):
+    """A pass introduced a new error-severity lint diagnostic."""
+
+    def __init__(self, pass_name: str, diagnostics) -> None:
+        self.pass_name = pass_name
+        self.diagnostics = list(diagnostics)
+        rendered = "; ".join(d.render().split("\n")[0]
+                             for d in self.diagnostics)
+        super().__init__(
+            f"pass {pass_name!r} introduced new lint error(s): {rendered}")
+
+
+class _LintDiffer:
+    """``lint_after_each`` hook holding the rolling lint baseline.
+
+    The baseline starts as the input IR's own report (pre-existing
+    findings are the generator's responsibility, not any pass's) and
+    advances after each clean pass, so a regression is attributed to
+    exactly the pass that introduced it.
+    """
+
+    def __init__(self, function) -> None:
+        self.count = 0
+        self.baseline = repro.lint(function)
+
+    def __call__(self, pass_name: str, function) -> None:
+        self.count += 1
+        report = repro.lint(function)
+        new = report.new_errors(self.baseline)
+        if new:
+            raise PassLintError(pass_name, new)
+        self.baseline = report
+
+
 def _arm_pipeline(arm: str, hook: _PassVerifier,
-                  cfm_config: Optional[CFMConfig]) -> List[PassPipeline]:
+                  cfm_config: Optional[CFMConfig],
+                  lint_hook: Optional[_LintDiffer] = None) -> List[PassPipeline]:
     """The pass pipelines one arm runs, in order (empty for ``noopt``)."""
     if arm == "noopt":
         return []
     o3 = o3_pipeline()
     o3.verify_after_each = hook
+    o3.lint_after_each = lint_hook
     if arm == "o3":
         return [o3]
     reducer = {
@@ -147,20 +196,24 @@ def _arm_pipeline(arm: str, hook: _PassVerifier,
     }[arm]()
     # One pipeline hosts the reducer and the late cleanups through the
     # same Pass surface — the point of the unified pass API.
-    stage2 = PassPipeline([reducer], verify_after_each=hook)
+    stage2 = PassPipeline([reducer], verify_after_each=hook,
+                          lint_after_each=lint_hook)
     for late_pass in late_pipeline().passes:
         stage2.add(late_pass)
     return [o3, stage2]
 
 
 def _compile_arm(arm: str, spec: KernelSpec,
-                 cfm_config: Optional[CFMConfig]) -> ArmReport:
+                 cfm_config: Optional[CFMConfig],
+                 lint: bool = True) -> ArmReport:
     report = ArmReport(arm=arm)
     hook = _PassVerifier()
     builder = build_kernel(spec)
     function = builder.function
     try:
-        pipelines = _arm_pipeline(arm, hook, cfm_config)
+        lint_hook = (_LintDiffer(function)
+                     if lint and arm != "noopt" else None)
+        pipelines = _arm_pipeline(arm, hook, cfm_config, lint_hook)
         for index, pipeline in enumerate(pipelines):
             if index == 0:
                 pipeline.run_to_fixpoint(function)  # the -O3 stage
@@ -169,6 +222,10 @@ def _compile_arm(arm: str, spec: KernelSpec,
         verify_function(function)
     except PassVerificationError as exc:
         report.failure = Failure(arm=arm, kind="verifier", detail=str(exc),
+                                 pass_name=exc.pass_name)
+        return report
+    except PassLintError as exc:
+        report.failure = Failure(arm=arm, kind="lint", detail=str(exc),
                                  pass_name=exc.pass_name)
         return report
     except Exception as exc:
@@ -181,6 +238,17 @@ def _compile_arm(arm: str, spec: KernelSpec,
                    if isinstance(p, CFMPass))
         report.melds = len(cfm.stats.melds) if cfm.stats else 0
         report.decisions = list(cfm.stats.decisions) if cfm.stats else []
+        if lint:
+            # The per-pass hook cannot see the decision log (it lives on
+            # the pass object); audit meld legality once, post-compile.
+            audit = repro.lint(function, rules=["meld-legality"],
+                               decisions=report.decisions)
+            if not audit.ok:
+                report.failure = Failure(
+                    arm=arm, kind="lint", pass_name="cfm",
+                    detail="; ".join(d.render().split("\n")[0]
+                                     for d in audit.errors))
+                return report
     report.builder = builder
     return report
 

@@ -24,6 +24,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Union
 
+from repro.analysis import DivergenceInfo, cached_divergence
 from repro.core import CFMConfig, CFMPass, CFMStats
 from repro.ir import Function, Module, Type, I32, verify_function
 from repro.kernels.common import KernelCase
@@ -181,3 +182,14 @@ def meld(kernel: KernelLike, config: Optional[CFMConfig] = None) -> CFMStats:
     """Run the paper's CFM pass (alone, no -O3 / late cleanups) on
     ``kernel`` in place and return its :class:`CFMStats`."""
     return CFMPass(config).run(_as_function(kernel)).stats
+
+
+def analyze(kernel: KernelLike) -> DivergenceInfo:
+    """Divergence analysis of ``kernel`` (§II-B), memoized per function.
+
+    The same per-function memo backs the CFM pass and the lint rules, so
+    ``repro.analyze(k)`` right after ``repro.compile`` / ``repro.lint``
+    reuses their fixpoint instead of re-running it (and vice versa).
+    The memo is invalidated whenever a pipeline pass changes the IR.
+    """
+    return cached_divergence(_as_function(kernel))

@@ -10,7 +10,9 @@ this after each pass.  Checks performed:
 * every definition dominates all of its uses (φ uses are checked at the
   end of the matching incoming block);
 * operands belong to the same function (arguments, instructions, blocks);
-* cached predecessor lists agree with the terminator edges.
+* cached predecessor lists agree with the terminator edges;
+* barrier calls are void: a ``llvm.gpu.barrier`` with uses is rejected;
+* conditional branches branch on ``i1`` — nothing else.
 """
 
 from __future__ import annotations
@@ -19,7 +21,8 @@ from typing import List
 
 from .block import BasicBlock
 from .function import Function, GlobalVariable
-from .instructions import Branch, Instruction, Phi, Ret
+from .instructions import Branch, Call, Instruction, Phi, Ret
+from .types import I1
 from .values import Argument, Constant, Undef, Value
 
 
@@ -52,6 +55,7 @@ def verify_function(function: Function) -> None:
 
     for block in function.blocks:
         problems.extend(_check_block_structure(block))
+        problems.extend(_check_instruction_semantics(block))
 
     if function.entry.preds:
         problems.append(f"entry block %{function.entry.name} has predecessors")
@@ -99,6 +103,27 @@ def _check_block_structure(block: BasicBlock) -> List[str]:
                 )
         else:
             seen_non_phi = True
+    return problems
+
+
+def _check_instruction_semantics(block: BasicBlock) -> List[str]:
+    """Type/shape rules beyond pure structure: void barriers, i1 branch
+    conditions."""
+    problems = []
+    for instr in block.instructions:
+        if isinstance(instr, Call) and instr.is_barrier and instr.is_used:
+            problems.append(
+                f"barrier call in %{block.name} is void but has "
+                f"{len(instr.uses)} use(s)"
+            )
+        if isinstance(instr, Branch) and instr.is_conditional:
+            condition = instr.condition
+            ctype = getattr(condition, "type", None)
+            if ctype is not I1:
+                problems.append(
+                    f"conditional branch in %{block.name} has non-i1 "
+                    f"condition ({ctype!r})"
+                )
     return problems
 
 

@@ -1,0 +1,107 @@
+"""Programmatic entry points: ``repro.lint(kernel)`` and level sweeps.
+
+:func:`lint_kernel` is what the callable ``repro.lint`` package resolves
+to — it lints a kernel-like object *as it currently is*.
+:func:`lint_at_level` additionally compiles a kernel under one of the
+difftest matrix's opt levels first, capturing the CFM decision log so
+the meld-legality audit has material; the CLI and the kernels-clean
+acceptance test are built on it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple, Union
+
+from repro.ir.function import Function
+
+from .diagnostics import LintConfig, LintReport
+from .engine import LintRule, run_lint
+from . import rules as _rules  # noqa: F401  (populates the registry)
+
+#: the same opt levels the differential oracle's arms use
+LINT_LEVELS = ("noopt", "o3", "o3-cfm", "o3-tail", "o3-bf")
+
+
+def _as_function(kernel) -> Function:
+    """Duck-typed kernel access, mirroring the facade: a raw Function,
+    or anything carrying one (KernelBuilder, KernelCase, CompileReport)."""
+    if isinstance(kernel, Function):
+        return kernel
+    inner = getattr(kernel, "function", None)
+    if isinstance(inner, Function):
+        return inner
+    raise TypeError(
+        f"expected a Function or an object with a .function, got {kernel!r}")
+
+
+def _decisions_of(kernel) -> Optional[list]:
+    """Pull a melding decision log off the object when it carries one
+    (a facade CompileReport with cfm_stats, or a CFMStats itself)."""
+    stats = getattr(kernel, "cfm_stats", None) or kernel
+    decisions = getattr(stats, "decisions", None)
+    return list(decisions) if decisions else None
+
+
+def lint_kernel(kernel,
+                rules: Optional[Sequence[Union[str, LintRule]]] = None,
+                config: Optional[LintConfig] = None,
+                decisions: Optional[Sequence[object]] = None) -> LintReport:
+    """Lint a kernel-like object as-is (no compilation).
+
+    When ``kernel`` is a facade ``CompileReport`` from a ``cfm=True``
+    compile, its melding decision log is picked up automatically so the
+    meld-legality audit runs without extra plumbing.
+    """
+    if decisions is None:
+        decisions = _decisions_of(kernel)
+    return run_lint(_as_function(kernel), rules=rules, config=config,
+                    decisions=decisions)
+
+
+def compile_at_level(function: Function, level: str,
+                     cfm_config=None) -> Optional[list]:
+    """Run one opt level's pipelines on ``function`` in place.
+
+    Returns the CFM decision log for the ``o3-cfm`` level (None
+    otherwise).  Levels mirror the differential oracle's arm matrix.
+    """
+    if level not in LINT_LEVELS:
+        raise ValueError(
+            f"unknown level {level!r}; expected one of {LINT_LEVELS}")
+    if level == "noopt":
+        return None
+    # Deep imports on purpose: the lint package must stay importable
+    # without dragging in the simulator, and the facade imports nothing
+    # from here, so there is no cycle either way.
+    from repro.transforms import late_pipeline, o3_pipeline
+
+    o3_pipeline().run_to_fixpoint(function)
+    if level == "o3":
+        return None
+    if level == "o3-cfm":
+        from repro.core import CFMPass
+        cfm = CFMPass(cfm_config)
+        cfm.run(function)
+        late_pipeline().run(function)
+        return list(cfm.stats.decisions) if cfm.stats else None
+    from repro.baselines import BranchFusionPass, TailMergingPass
+    reducer = {"o3-tail": TailMergingPass, "o3-bf": BranchFusionPass}[level]()
+    reducer.run(function)
+    late_pipeline().run(function)
+    return None
+
+
+def lint_at_level(kernel, level: str,
+                  rules: Optional[Sequence[Union[str, LintRule]]] = None,
+                  config: Optional[LintConfig] = None,
+                  cfm_config=None) -> LintReport:
+    """Compile ``kernel`` in place at ``level``, then lint it.
+
+    The ``o3-cfm`` level feeds the pass's decision log to the
+    meld-legality audit.  Callers wanting several levels of one kernel
+    must rebuild it per level — compilation mutates the IR.
+    """
+    function = _as_function(kernel)
+    decisions = compile_at_level(function, level, cfm_config=cfm_config)
+    return run_lint(function, rules=rules, config=config,
+                    decisions=decisions)

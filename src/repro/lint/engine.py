@@ -1,0 +1,252 @@
+"""Rule registry and diagnostics engine.
+
+A :class:`LintRule` inspects one function through a :class:`LintContext`
+— a per-run cache of the analyses rules share (divergence, dominators,
+post-dominance frontiers, loops, reachability), so ten rules cost one
+fixpoint, not ten.  Rules register themselves in a module-level registry
+(:func:`register`); :func:`run_lint` instantiates nothing — the registry
+holds singleton rule objects, and all per-run state lives on the context.
+
+The engine is observability-aware: under an ambient tracer
+(:mod:`repro.obs`) every diagnostic is emitted as a ``lint:<rule>``
+instant on the compile timeline, next to the pass spans and melding
+decisions, so a Perfetto view of a compile shows *where in the pipeline*
+each finding appeared.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Union
+
+from repro.analysis.cfg import reachable_blocks
+from repro.analysis.divergence import DivergenceInfo, cached_divergence
+from repro.analysis.dominators import (
+    DominatorTree,
+    compute_dominator_tree,
+    compute_postdominator_tree,
+    postdominance_frontier,
+)
+from repro.analysis.loops import LoopInfo, compute_loop_info
+from repro.ir.block import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import Instruction
+from repro.ir.printer import format_instruction
+from repro.obs import COMPILE_PID, current_tracer
+
+from .diagnostics import (
+    DEFAULT_CONFIG,
+    Diagnostic,
+    LintConfig,
+    LintReport,
+    Severity,
+)
+
+
+class LintContext:
+    """Shared state of one lint run: the function, the configuration,
+    and lazily computed, memoized analyses."""
+
+    def __init__(self, function: Function,
+                 config: LintConfig = DEFAULT_CONFIG,
+                 decisions: Optional[Sequence[object]] = None) -> None:
+        self.function = function
+        self.config = config
+        #: the CFM pass's melding decision log, when the caller has one
+        #: (:class:`repro.obs.MeldingDecision` records; consumed by the
+        #: meld-legality audit)
+        self.decisions: List[object] = list(decisions or [])
+        self._divergence: Optional[DivergenceInfo] = None
+        self._dominators: Optional[DominatorTree] = None
+        self._postdominators: Optional[DominatorTree] = None
+        self._pdf: Optional[Dict[BasicBlock, Set[BasicBlock]]] = None
+        self._loops: Optional[LoopInfo] = None
+        self._reachable: Optional[Set[BasicBlock]] = None
+        self._divergent_deps: Dict[BasicBlock, bool] = {}
+
+    # ---- memoized analyses ------------------------------------------------
+
+    @property
+    def divergence(self) -> DivergenceInfo:
+        if self._divergence is None:
+            self._divergence = cached_divergence(self.function)
+        return self._divergence
+
+    @property
+    def dominators(self) -> DominatorTree:
+        if self._dominators is None:
+            self._dominators = compute_dominator_tree(self.function)
+        return self._dominators
+
+    @property
+    def postdominators(self) -> DominatorTree:
+        if self._postdominators is None:
+            self._postdominators = compute_postdominator_tree(self.function)
+        return self._postdominators
+
+    @property
+    def control_dependence(self) -> Dict[BasicBlock, Set[BasicBlock]]:
+        """Post-dominance frontier: ``b in PDF(a)`` means ``a`` executes
+        (or not) depending on the branch in ``b``."""
+        if self._pdf is None:
+            self._pdf = postdominance_frontier(self.function,
+                                               self.postdominators)
+        return self._pdf
+
+    @property
+    def loops(self) -> LoopInfo:
+        if self._loops is None:
+            self._loops = compute_loop_info(self.function)
+        return self._loops
+
+    @property
+    def reachable(self) -> Set[BasicBlock]:
+        if self._reachable is None:
+            self._reachable = reachable_blocks(self.function)
+        return self._reachable
+
+    # ---- derived queries --------------------------------------------------
+
+    def divergence_guarded(self, block: BasicBlock) -> bool:
+        """True when reaching ``block`` (or how many times it runs)
+        depends on a *divergent* branch: the iterated control-dependence
+        set of ``block`` contains a divergent-branch block.
+
+        This is the §II-B reachability notion the barrier rule needs —
+        loop bodies are control-dependent on their exiting branches, so
+        a divergently-exiting loop taints everything it contains.
+        """
+        memo = self._divergent_deps
+        if block in memo:
+            return memo[block]
+        pdf = self.control_dependence
+        divergence = self.divergence
+        seen: Set[BasicBlock] = {block}
+        work = [block]
+        guarded = False
+        while work:
+            node = work.pop()
+            for dep in pdf.get(node, ()):
+                if divergence.has_divergent_branch(dep):
+                    guarded = True
+                    work = []
+                    break
+                if dep not in seen:
+                    seen.add(dep)
+                    work.append(dep)
+        for node in seen:
+            # The closure is shared: every visited node has the same
+            # verdict only when guarded is False; a positive verdict is
+            # recorded for the queried block alone.
+            if not guarded:
+                memo[node] = False
+        memo[block] = guarded
+        return guarded
+
+
+class LintRule:
+    """One named diagnostic rule.
+
+    Subclasses set :attr:`id`, :attr:`severity` (the default severity of
+    their findings) and :attr:`description`, and implement
+    :meth:`check`, yielding :class:`Diagnostic` objects (most easily via
+    :meth:`diag`).
+    """
+
+    id: str = "rule"
+    severity: str = Severity.WARNING
+    description: str = ""
+
+    def check(self, ctx: LintContext) -> Iterable[Diagnostic]:
+        raise NotImplementedError
+
+    def diag(self, ctx: LintContext, message: str,
+             block: Optional[BasicBlock] = None,
+             instruction: Optional[Instruction] = None,
+             severity: Optional[str] = None,
+             **data: object) -> Diagnostic:
+        """Build one diagnostic at the given location, applying the
+        run's severity override for this rule."""
+        default = severity if severity is not None else self.severity
+        return Diagnostic(
+            rule=self.id,
+            severity=ctx.config.severity_for(self.id, default),
+            message=message,
+            function=ctx.function.name,
+            block=block.name if block is not None else None,
+            instruction=(format_instruction(instruction)
+                         if instruction is not None else None),
+            data=dict(data),
+        )
+
+    def __repr__(self) -> str:
+        return f"<LintRule {self.id!r}>"
+
+
+#: rule id -> singleton rule instance
+REGISTRY: Dict[str, LintRule] = {}
+
+
+def register(rule_cls):
+    """Class decorator: instantiate and register a :class:`LintRule`."""
+    rule = rule_cls()
+    if not rule.id or rule.id == "rule":
+        raise ValueError(f"{rule_cls.__name__} must set a rule id")
+    if rule.id in REGISTRY:
+        raise ValueError(f"duplicate lint rule id {rule.id!r}")
+    REGISTRY[rule.id] = rule
+    return rule_cls
+
+
+def all_rules() -> List[LintRule]:
+    """Every registered rule, in stable (id-sorted) order."""
+    return [REGISTRY[rule_id] for rule_id in sorted(REGISTRY)]
+
+
+def get_rule(rule_id: str) -> LintRule:
+    try:
+        return REGISTRY[rule_id]
+    except KeyError:
+        raise ValueError(f"unknown lint rule {rule_id!r} "
+                         f"(available: {sorted(REGISTRY)})") from None
+
+
+def resolve_rules(rules: Optional[Sequence[Union[str, LintRule]]]
+                  ) -> List[LintRule]:
+    """Normalize a rule selection (names or instances) to instances."""
+    if rules is None:
+        return all_rules()
+    resolved: List[LintRule] = []
+    for entry in rules:
+        resolved.append(entry if isinstance(entry, LintRule)
+                        else get_rule(entry))
+    return resolved
+
+
+def run_lint(function: Function,
+             rules: Optional[Sequence[Union[str, LintRule]]] = None,
+             config: Optional[LintConfig] = None,
+             decisions: Optional[Sequence[object]] = None) -> LintReport:
+    """Run the (selected) rules over ``function`` and report.
+
+    ``decisions`` is the CFM pass's melding decision log when the caller
+    has one — required for the meld-legality audit to have anything to
+    audit (without it the rule is a no-op).
+
+    Under an ambient :mod:`repro.obs` tracer each diagnostic is emitted
+    as a ``lint:<rule>`` instant event with the diagnostic as args.
+    """
+    config = config if config is not None else DEFAULT_CONFIG
+    ctx = LintContext(function, config=config, decisions=decisions)
+    report = LintReport(function=function.name)
+    tracer = current_tracer()
+    for rule in resolve_rules(rules):
+        if not config.is_enabled(rule.id):
+            continue
+        report.rules_run.append(rule.id)
+        for diagnostic in rule.check(ctx):
+            report.diagnostics.append(diagnostic)
+            if tracer.enabled:
+                tracer.instant(f"lint:{diagnostic.rule}", cat="lint",
+                               pid=COMPILE_PID,
+                               args=diagnostic.as_dict())
+    return report

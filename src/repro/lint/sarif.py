@@ -1,0 +1,83 @@
+"""SARIF 2.1.0 rendering of lint reports.
+
+The kernels have no source files — the IR lives in memory — so results
+carry *logical* locations only (``fullyQualifiedName`` =
+``function:block``), which SARIF supports for exactly this case.  One
+``run`` covers all linted functions; the rule catalog is embedded in
+``tool.driver.rules`` so viewers (GitHub code scanning, VS Code SARIF
+viewer) can show descriptions without the repo.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List
+
+from .diagnostics import Diagnostic, LintReport, Severity
+from .engine import all_rules
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json")
+TOOL_NAME = "repro-lint"
+
+
+def _rule_descriptor(rule) -> Dict[str, object]:
+    return {
+        "id": rule.id,
+        "shortDescription": {"text": rule.description or rule.id},
+        "defaultConfiguration": {
+            "level": Severity.SARIF_LEVEL[rule.severity],
+        },
+    }
+
+
+def _result(diag: Diagnostic) -> Dict[str, object]:
+    qualified = diag.function
+    if diag.block is not None:
+        qualified += f":{diag.block}"
+    message = diag.message
+    if diag.instruction:
+        message += f" | {diag.instruction}"
+    result: Dict[str, object] = {
+        "ruleId": diag.rule,
+        "level": Severity.SARIF_LEVEL[diag.severity],
+        "message": {"text": message},
+        "locations": [{
+            "logicalLocations": [{
+                "fullyQualifiedName": qualified,
+                "name": diag.block or diag.function,
+                "kind": "function" if diag.block is None else "member",
+            }],
+        }],
+    }
+    if diag.data:
+        result["properties"] = {str(k): v for k, v in diag.data.items()}
+    return result
+
+
+def to_sarif(reports: Iterable[LintReport]) -> Dict[str, object]:
+    """One SARIF log document covering ``reports``."""
+    results: List[Dict[str, object]] = []
+    for report in reports:
+        results.extend(_result(d) for d in report.diagnostics)
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": TOOL_NAME,
+                    "informationUri": "https://example.invalid/repro-lint",
+                    "rules": [_rule_descriptor(r) for r in all_rules()],
+                },
+            },
+            "results": results,
+        }],
+    }
+
+
+def write_sarif(path: str, reports: Iterable[LintReport]) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(to_sarif(reports), handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -70,6 +70,13 @@ class MeldingDecision:
     instructions_unaligned: int = 0
     #: §IV-E unpredication split at least one gap run out
     unpredicated: bool = False
+    #: was the region's entry branch divergent when the pass scored it?
+    #: (stamped from the divergence analysis, independently of region
+    #: selection, so the lint meld-legality audit can cross-check)
+    branch_divergent: Optional[bool] = None
+    #: names of the guard blocks unpredication created for side-effecting
+    #: gap runs (each must stay dominated by its guard branch)
+    guard_blocks: List[str] = field(default_factory=list)
 
     @property
     def accepted(self) -> bool:
@@ -102,6 +109,10 @@ class MeldingDecision:
                 instructions_unaligned=self.instructions_unaligned,
                 unpredicated=self.unpredicated,
             )
+        if self.branch_divergent is not None:
+            record["branch_divergent"] = self.branch_divergent
+        if self.guard_blocks:
+            record["guard_blocks"] = list(self.guard_blocks)
         return record
 
 

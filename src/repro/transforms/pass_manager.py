@@ -18,7 +18,10 @@ miscompiles.  The ``verify_after_each`` hook generalizes this: any
 callable ``(pass_name, function) -> None`` is invoked after **every**
 pass execution, which is how the differential-testing oracle
 (:mod:`repro.difftest`) attributes a verifier failure to the exact pass
-that introduced it.
+that introduced it.  ``lint_after_each`` is the symmetric seam for
+*semantic* diagnostics: it runs right after ``verify_after_each``, and
+the oracle's differential-lint arm uses it to assert that no pass
+introduces a new error-severity :mod:`repro.lint` diagnostic.
 
 Timings are scoped per invocation: ``timings`` holds only the pass
 executions of the most recent :meth:`PassPipeline.run` /
@@ -44,6 +47,7 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.analysis.divergence import invalidate_divergence
 from repro.ir.function import Function
 from repro.ir.verifier import verify_function
 from repro.obs import current_tracer, emit_pass_timing, pass_timing_event, \
@@ -152,7 +156,8 @@ class PassPipeline:
     def __init__(self,
                  passes: Optional[Sequence[Union[Pass, Tuple[str, FunctionPass]]]] = None,
                  verify: bool = False, collect_ir_stats: bool = False,
-                 verify_after_each: Optional[AfterPassHook] = None) -> None:
+                 verify_after_each: Optional[AfterPassHook] = None,
+                 lint_after_each: Optional[AfterPassHook] = None) -> None:
         self._passes: List[Pass] = []
         for entry in passes or []:
             if isinstance(entry, Pass):
@@ -164,6 +169,9 @@ class PassPipeline:
         #: callable ``(pass_name, function)`` invoked after every pass
         #: execution; raise from it to abort the pipeline with context
         self.verify_after_each = verify_after_each
+        #: like ``verify_after_each`` but for semantic diagnostics; runs
+        #: after it, so lint sees only verifier-clean IR
+        self.lint_after_each = lint_after_each
         self.collect_ir_stats = collect_ir_stats
         #: pass executions of the most recent run()/run_to_fixpoint() call
         self.timings: List[PassTiming] = []
@@ -214,6 +222,10 @@ class PassPipeline:
             if tracer.enabled:
                 emit_pass_timing(timing, tracer)
             changed |= result.changed
+            if result.changed:
+                # The pass may have rewritten operands in place, which
+                # the divergence memo's fingerprint cannot see.
+                invalidate_divergence(function)
             if self.verify:
                 try:
                     verify_function(function)
@@ -223,6 +235,8 @@ class PassPipeline:
                         f"{pass_.name!r}") from exc
             if self.verify_after_each is not None:
                 self.verify_after_each(pass_.name, function)
+            if self.lint_after_each is not None:
+                self.lint_after_each(pass_.name, function)
         return changed
 
     def run(self, function: Function) -> bool:

@@ -1,6 +1,11 @@
 """Tests for the GPU divergence analysis."""
 
-from repro.analysis import compute_divergence
+from repro.analysis import (
+    cached_divergence,
+    compute_divergence,
+    invalidate_divergence,
+)
+from repro.analysis.divergence import _join_blocks, _mark_temporal_divergence
 from repro.ir import Call, IntrinsicName, Load
 
 from tests.support import build_diamond, parse
@@ -185,6 +190,90 @@ exit:
         phi = f.block_by_name("h").phis[0]
         assert info.is_uniform(phi)
 
+    def test_join_blocks_nested_diamonds(self):
+        # Two divergent diamonds, one nested in the outer's then-path.
+        # Each branch's joins are ITS OWN merge point: the inner merge is
+        # reachable from only one outer successor, so it joins only the
+        # inner branch; the outer merge is the outer branch's IPDOM.
+        f = parse("""
+define void @k(i32 %n) {
+entry:
+  %tid = call i32 @llvm.gpu.tid.x()
+  %c = icmp slt i32 %tid, %n
+  br i1 %c, label %a, label %b
+a:
+  %c2 = icmp slt i32 %tid, 4
+  br i1 %c2, label %it, label %if
+it:
+  br label %im
+if:
+  br label %im
+im:
+  %pi = phi i32 [ 1, %it ], [ 2, %if ]
+  br label %m
+b:
+  br label %m
+m:
+  %po = phi i32 [ %pi, %im ], [ 0, %b ]
+  ret void
+}
+""")
+        blocks = {name: f.block_by_name(name) for name in
+                  ("entry", "a", "im", "m")}
+        assert _join_blocks(blocks["entry"]) == {blocks["m"]}
+        assert _join_blocks(blocks["a"]) == {blocks["im"]}
+        info = compute_divergence(f)
+        assert info.is_divergent(blocks["im"].phis[0])
+        assert info.is_divergent(blocks["m"].phis[0])
+
+    def test_join_blocks_cut_at_loop_reconvergence(self):
+        # A divergent diamond INSIDE a uniform loop: the joins of the
+        # diamond's branch stop at its IPDOM (the latch), never flowing
+        # around the backedge into the loop header — the simulator
+        # reconverges the warp at the IPDOM, so the header phi stays
+        # uniform.
+        f = parse("""
+define void @k(i32 %n) {
+entry:
+  %tid = call i32 @llvm.gpu.tid.x()
+  br label %h
+h:
+  %i = phi i32 [ 0, %entry ], [ %ni, %l ]
+  %c = icmp slt i32 %i, %n
+  br i1 %c, label %body, label %x
+body:
+  %d = icmp slt i32 %tid, %i
+  br i1 %d, label %t, label %f
+t:
+  br label %l
+f:
+  br label %l
+l:
+  %p = phi i32 [ 1, %t ], [ 2, %f ]
+  %ni = add i32 %i, 1
+  br label %h
+x:
+  ret void
+}
+""")
+        body, latch, header = (f.block_by_name(n) for n in ("body", "l", "h"))
+        assert _join_blocks(body) == {latch}
+        info = compute_divergence(f)
+        assert info.is_divergent(latch.phis[0])       # the diamond's join
+        assert info.is_uniform(header.phis[0])        # NOT tainted via backedge
+        assert not info.has_divergent_branch(header)  # uniform exit
+
+    def test_join_blocks_non_conditional(self):
+        f = parse("""
+define void @k() {
+entry:
+  br label %x
+x:
+  ret void
+}
+""")
+        assert _join_blocks(f.entry) == set()
+
     def test_transitive_branch_divergence(self):
         # A uniform-looking branch whose condition depends on a
         # sync-divergent phi must itself become divergent.
@@ -210,3 +299,75 @@ y:
 """)
         info = compute_divergence(f)
         assert info.has_divergent_branch(f.block_by_name("m"))
+
+
+LOOP_LIVE_OUT = """
+define void @k(i32 addrspace(1)* %out) {
+entry:
+  %tid = call i32 @llvm.gpu.tid.x()
+  br label %h
+h:
+  %i = phi i32 [ 0, %entry ], [ %ni, %h ]
+  %ni = add i32 %i, 1
+  %c = icmp slt i32 %ni, %tid
+  br i1 %c, label %h, label %exit
+exit:
+  %p = getelementptr i32, i32 addrspace(1)* %out, i32 0
+  store i32 %ni, i32 addrspace(1)* %p
+  ret void
+}
+"""
+
+
+class TestTemporalDivergenceUnit:
+    """Direct tests of _mark_temporal_divergence, isolated from the
+    surrounding fixpoint."""
+
+    def test_live_out_of_divergently_exiting_loop(self):
+        f = parse(LOOP_LIVE_OUT)
+        h = f.block_by_name("h")
+        phi, ni = h.instructions[:2]
+        divergent = set()
+        # Pretend the fixpoint classified the exiting branch divergent.
+        assert _mark_temporal_divergence(f, divergent, {h}) is True
+        # Only the value USED outside the loop is temporally divergent;
+        # the phi never escapes and stays as-is.
+        assert ni in divergent
+        assert phi not in divergent
+
+    def test_no_divergent_exit_no_marking(self):
+        f = parse(LOOP_LIVE_OUT)
+        divergent = set()
+        assert _mark_temporal_divergence(f, divergent, set()) is False
+        assert divergent == set()
+
+    def test_idempotent_second_call(self):
+        f = parse(LOOP_LIVE_OUT)
+        h = f.block_by_name("h")
+        divergent = set()
+        assert _mark_temporal_divergence(f, divergent, {h}) is True
+        # Fixpoint discipline: nothing new on the second sweep.
+        assert _mark_temporal_divergence(f, divergent, {h}) is False
+
+
+class TestDivergenceMemo:
+    def test_cached_returns_same_object(self):
+        f = build_diamond()
+        assert cached_divergence(f) is cached_divergence(f)
+
+    def test_invalidate_forces_recompute(self):
+        f = build_diamond()
+        first = cached_divergence(f)
+        invalidate_divergence(f)
+        assert cached_divergence(f) is not first
+
+    def test_structural_change_misses_automatically(self):
+        from repro.ir import IRBuilder
+
+        f = build_diamond()
+        first = cached_divergence(f)
+        # Growing the function changes the fingerprint: no stale hit
+        # even without an explicit invalidate.
+        block = f.add_block("appendix")
+        IRBuilder(block).ret()
+        assert cached_divergence(f) is not first

@@ -79,6 +79,38 @@ class TestDropUndefPhi:
             assert result.statements <= 12
 
 
+class TestDropBarrier:
+    """A barrier deleted by DCE: invisible to the verifier AND to the
+    one-warp-per-block simulator — only the differential-lint oracle
+    (a new shared-memory-race ERROR after the guilty pass) catches it."""
+
+    def test_caught_by_differential_lint_only(self):
+        with inject("drop-barrier"):
+            spec, verdict = _first_failing("lint")
+            assert spec is not None, "drop-barrier never caught — lint blind"
+            failure = next(f for f in verdict.failures if f.kind == "lint")
+            # Attributed to the pass that deleted the barrier...
+            assert failure.pass_name == "dce"
+            # ...naming the race the deletion opened.
+            assert "shared-memory-race" in failure.detail
+            # The other oracles are provably blind to this bug class:
+            assert verdict.mismatches == 0
+            assert verdict.verifier_failures == 0
+            assert verdict.lint_failures > 0
+
+    def test_shrinks_below_acceptance_bar(self):
+        with inject("drop-barrier"):
+            spec, _ = _first_failing("lint")
+            assert spec is not None
+            # The generic predicate: lint failures shrink for free.
+            result = shrink(spec, lambda s: not run_oracle(s).ok)
+            assert result.statements <= 12, (
+                f"shrinker left {result.statements} statements")
+            assert not run_oracle(result.spec).ok
+        # Replays clean once the bug is gone.
+        assert run_oracle(result.spec).ok
+
+
 class TestCorpusRoundTrip:
     def test_failure_recorded_and_replayable(self, tmp_path):
         with inject("swap-select"):

@@ -160,6 +160,38 @@ m:
         with pytest.raises(VerificationError, match="argument"):
             verify_function(f)
 
+    def test_barrier_with_uses(self):
+        # BARRIER is void; giving its "result" a use must be rejected.
+        f = Function("f", [], [])
+        a = f.add_block("a")
+        builder = IRBuilder(a)
+        bar = builder.barrier()
+        add = builder.add(c(1), c(2))
+        builder.ret()
+        add.set_operand(0, bar)  # bypass type discipline deliberately
+        with pytest.raises(VerificationError, match="barrier.*void.*use"):
+            verify_function(f)
+
+    def test_barrier_without_uses_ok(self):
+        f = Function("f", [], [])
+        builder = IRBuilder(f.add_block("a"))
+        builder.barrier()
+        builder.ret()
+        verify_function(f)
+
+    def test_conditional_branch_on_non_i1(self):
+        f = Function("f", [], [])
+        a, b, m = f.add_block("a"), f.add_block("b"), f.add_block("m")
+        builder = IRBuilder(a)
+        cond = builder.add(c(1), c(2), "w")  # i32, not i1
+        term = builder.cond_br(const_bool(True), b, m)
+        for blk in (b, m):
+            builder.position_at_end(blk)
+            builder.ret()
+        term.set_operand(0, cond)  # swap in the i32 behind the builder's back
+        with pytest.raises(VerificationError, match="non-i1"):
+            verify_function(f)
+
     def test_is_well_formed_false(self):
         f = Function("f", [], [])
         f.add_block("a")

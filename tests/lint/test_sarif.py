@@ -1,0 +1,70 @@
+"""SARIF 2.1.0 output: structure, level mapping, logical locations."""
+
+import json
+
+from repro.lint import (
+    Diagnostic,
+    LintReport,
+    Severity,
+    all_rules,
+    to_sarif,
+    write_sarif,
+)
+
+
+def _report():
+    return LintReport("k", diagnostics=[
+        Diagnostic(rule="barrier-divergence", severity=Severity.ERROR,
+                   message="boom", function="k", block="then",
+                   instruction="call void @llvm.gpu.barrier()"),
+        Diagnostic(rule="dead-store", severity=Severity.WARNING,
+                   message="dull", function="k", block=None,
+                   data={"extra": 1}),
+        Diagnostic(rule="unreachable-block", severity=Severity.INFO,
+                   message="meh", function="k", block="x"),
+    ])
+
+
+class TestToSarif:
+    def test_document_shape(self):
+        doc = to_sarif([_report()])
+        assert doc["version"] == "2.1.0"
+        (run,) = doc["runs"]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        assert len(run["results"]) == 3
+
+    def test_rule_catalog_embedded(self):
+        doc = to_sarif([])
+        rules = doc["runs"][0]["tool"]["driver"]["rules"]
+        assert [r["id"] for r in rules] == [r.id for r in all_rules()]
+        for rule in rules:
+            assert rule["shortDescription"]["text"]
+            assert rule["defaultConfiguration"]["level"] in (
+                "error", "warning", "note")
+
+    def test_severity_level_mapping(self):
+        results = to_sarif([_report()])["runs"][0]["results"]
+        assert [r["level"] for r in results] == ["error", "warning", "note"]
+
+    def test_logical_locations(self):
+        results = to_sarif([_report()])["runs"][0]["results"]
+        with_block = results[0]["locations"][0]["logicalLocations"][0]
+        assert with_block["fullyQualifiedName"] == "k:then"
+        assert with_block["kind"] == "member"
+        whole_fn = results[1]["locations"][0]["logicalLocations"][0]
+        assert whole_fn["fullyQualifiedName"] == "k"
+        assert whole_fn["kind"] == "function"
+
+    def test_instruction_and_data_carried(self):
+        results = to_sarif([_report()])["runs"][0]["results"]
+        assert "llvm.gpu.barrier" in results[0]["message"]["text"]
+        assert results[1]["properties"] == {"extra": 1}
+
+
+class TestWriteSarif:
+    def test_round_trips_as_json(self, tmp_path):
+        path = tmp_path / "out.sarif"
+        write_sarif(str(path), [_report()])
+        doc = json.loads(path.read_text())
+        assert doc["version"] == "2.1.0"
+        assert len(doc["runs"][0]["results"]) == 3

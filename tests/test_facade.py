@@ -106,13 +106,53 @@ class TestMeld:
             repro.meld(42)
 
 
+class TestAnalyze:
+    def test_returns_divergence_info(self):
+        k = make_builder()
+        info = repro.analyze(k)
+        assert isinstance(info, repro.DivergenceInfo)
+        assert info.has_divergent_branch(k.function.entry)
+
+    def test_memo_shared_across_calls(self):
+        k = make_builder()
+        assert repro.analyze(k) is repro.analyze(k)
+        # The facade and the raw cached entry point share one memo.
+        assert repro.analyze(k) is repro.cached_divergence(k.function)
+
+    def test_memo_invalidated_by_compile(self):
+        k = make_builder()
+        before = repro.analyze(k)
+        repro.compile(k, level="O3")
+        assert repro.analyze(k) is not before
+
+    def test_rejects_non_kernel(self):
+        with pytest.raises(TypeError, match="expected a Function"):
+            repro.analyze("nope")
+
+
+class TestLintFacade:
+    def test_module_is_callable(self):
+        report = repro.lint(build_diamond())
+        assert report.ok
+
+    def test_accepts_compile_report_with_decisions(self):
+        k = make_builder()
+        report = repro.compile(k, cfm=True)
+        lint_report = repro.lint(report)
+        assert lint_report.ok
+
+    def test_rule_registry_reexported(self):
+        assert "barrier-divergence" in {r.id for r in repro.lint.all_rules()}
+
+
 class TestFacadeSurface:
     def test_all_names_resolve(self):
         for name in repro.__all__:
             assert getattr(repro, name, None) is not None, name
 
     def test_key_entry_points_exported(self):
-        for name in ("compile", "launch", "meld", "run_cfm", "run_kernel",
+        for name in ("compile", "launch", "meld", "analyze", "lint",
+                     "run_cfm", "run_kernel",
                      "PassPipeline", "CFMPass", "GPU", "KernelBuilder"):
             assert name in repro.__all__, name
 

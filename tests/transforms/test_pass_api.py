@@ -116,3 +116,42 @@ class TestVerifyAfterEach:
                                 verify_after_each=lambda n, f: seen.append(n))
         pipeline.run(make_function())
         assert seen == ["noop"]
+
+
+class TestLintAfterEach:
+    def test_hook_symmetric_with_verify(self):
+        verified, linted = [], []
+        pipeline = PassPipeline(
+            [("fold", fold_constants), ("dce", eliminate_dead_code)],
+            verify_after_each=lambda name, fn: verified.append(name),
+            lint_after_each=lambda name, fn: linted.append(name))
+        pipeline.run(make_function())
+        assert linted == verified == ["fold", "dce"]
+
+    def test_lint_hook_failure_propagates(self):
+        class LintBoom(Exception):
+            pass
+
+        def hook(name, fn):
+            raise LintBoom(name)
+
+        pipeline = PassPipeline([("fold", fold_constants)],
+                                lint_after_each=hook)
+        with pytest.raises(LintBoom):
+            pipeline.run(make_function())
+
+    def test_default_is_none(self):
+        assert PassPipeline([]).lint_after_each is None
+
+    def test_changed_pass_invalidates_divergence_memo(self):
+        from repro.analysis import cached_divergence
+
+        function = make_function()
+        before = cached_divergence(function)
+        observed = []
+        pipeline = PassPipeline(
+            [("fold", fold_constants)],
+            lint_after_each=lambda n, f: observed.append(cached_divergence(f)))
+        assert pipeline.run(function)  # fold changes the IR
+        # The hook saw a FRESH analysis, not the stale pre-pass memo.
+        assert observed[0] is not before
