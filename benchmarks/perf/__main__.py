@@ -1,0 +1,71 @@
+"""CLI entry point: ``python -m benchmarks.perf``.
+
+Runs the executor benchmark suite and writes ``BENCH_PR5.json``.  With
+``--check`` the thresholds guard is evaluated and a miss exits 1 —
+this is what the CI perf-smoke job runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from .guard import check_thresholds, load_thresholds
+from .suite import run_suite
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m benchmarks.perf",
+        description="Benchmark the fast-path executor against the "
+                    "reference interpreter and emit BENCH_PR5.json.")
+    parser.add_argument("--out", type=Path, default=Path("BENCH_PR5.json"),
+                        help="output path (default: ./BENCH_PR5.json)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repeats per measurement (best-of)")
+    parser.add_argument("--difftest-seeds", type=int, default=4,
+                        help="difftest oracle seeds to time")
+    parser.add_argument("--quick", action="store_true",
+                        help="single repeat, 2 difftest seeds (CI smoke)")
+    parser.add_argument("--check", action="store_true",
+                        help="evaluate thresholds.json and exit 1 on a miss")
+    parser.add_argument("--slack", type=float, default=0.0,
+                        help="fractional threshold slack for --check "
+                             "(e.g. 0.3 tolerates 30%% under threshold)")
+    args = parser.parse_args(argv)
+
+    results = run_suite(repeats=args.repeats,
+                        difftest_seeds=args.difftest_seeds,
+                        quick=args.quick)
+    args.out.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n",
+                        encoding="utf-8")
+
+    for row in results["micro"]:
+        fast = row["executors"]["fast"]["ops_per_second"]
+        print(f"micro {row['workload']:>16}: {row['speedup']:5.2f}x "
+              f"(fast: {fast:,.0f} ops/s)")
+    figure8 = results["macro"]["figure8"]
+    print(f"macro figure8: simulate {figure8['simulate_speedup']:.2f}x, "
+          f"end-to-end {figure8['end_to_end_speedup']:.2f}x "
+          f"(compile {figure8['compile_seconds']:.2f}s)")
+    difftest = results["macro"]["difftest"]
+    print(f"macro difftest: {difftest['speedup']:.2f}x "
+          f"({difftest['executors']['fast']['seeds_per_second']:.2f} seeds/s)")
+    print(f"wrote {args.out}")
+
+    if args.check:
+        failures = check_thresholds(results, load_thresholds(),
+                                    slack=args.slack)
+        if failures:
+            print("PERF GUARD FAILED:", file=sys.stderr)
+            for failure in failures:
+                print(f"  {failure}", file=sys.stderr)
+            return 1
+        print("perf guard passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

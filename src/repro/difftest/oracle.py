@@ -274,11 +274,12 @@ def arm_trace(spec: KernelSpec, arm: str,
 
 
 def _run_arm(report: ArmReport, spec: KernelSpec,
-             input_seeds: Sequence[int]) -> None:
+             input_seeds: Sequence[int],
+             executor: Optional[str] = None) -> None:
     """Launch one compiled arm over every input set, reusing one GPU."""
     builder = report.builder
     outputs: List[Dict[str, List[int]]] = []
-    with GPU(builder.module) as gpu:
+    with GPU(builder.module, executor=executor) as gpu:
         for input_seed in input_seeds:
             args = make_inputs(spec, input_seed)
             try:
@@ -310,8 +311,14 @@ def _first_difference(reference: Dict[str, List[int]],
 def run_oracle(spec: KernelSpec,
                arms: Sequence[str] = ALL_ARMS,
                input_seeds: Sequence[int] = (0, 1),
-               cfm_config: Optional[CFMConfig] = None) -> Verdict:
-    """Compile and run ``spec`` under every arm; diff against ``noopt``."""
+               cfm_config: Optional[CFMConfig] = None,
+               executor: Optional[str] = None) -> Verdict:
+    """Compile and run ``spec`` under every arm; diff against ``noopt``.
+
+    ``executor`` selects the warp executor for every arm's launches
+    ("fast" / "reference"; None uses the machine default) — the
+    executor-differential tests run the same compiled arms under both.
+    """
     unknown = set(arms) - set(ALL_ARMS)
     if unknown:
         raise ValueError(f"unknown arms: {sorted(unknown)} "
@@ -325,7 +332,7 @@ def run_oracle(spec: KernelSpec,
     for arm in arm_list:
         report = _compile_arm(arm, spec, cfm_config)
         if report.failure is None:
-            _run_arm(report, spec, input_seeds)
+            _run_arm(report, spec, input_seeds, executor=executor)
         verdict.arms[arm] = report
         if report.failure is not None:
             verdict.failures.append(report.failure)

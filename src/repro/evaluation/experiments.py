@@ -18,6 +18,7 @@ from repro.ir import verify_function
 from repro.kernels import ALL_BUILDERS, REAL_WORLD_BUILDERS, SYNTHETIC_BUILDERS
 from repro.kernels.common import KernelCase
 from repro.kernels.patterns import PATTERN_BUILDERS
+from repro.simt import MachineConfig
 from repro.transforms import (
     eliminate_dead_code,
     optimize,
@@ -65,6 +66,7 @@ def run_sweep(
     grid_dim: int = DEFAULT_GRID_DIM,
     seed: int = DEFAULT_SEED,
     config: Optional[CFMConfig] = None,
+    machine: Optional[MachineConfig] = None,
     workers: int = 1,
     timeout: Optional[float] = None,
     trace: Optional[SweepTraceCollector] = None,
@@ -85,6 +87,7 @@ def run_sweep(
     policy = trace.policy if trace is not None else "off"
     tasks = [SweepTask(kernel=name, builder=builder, block_size=block_size,
                        grid_dim=grid_dim, seed=seed, config=config,
+                       machine=machine,
                        trace=(policy == "all"
                               or (policy == "first" and position == 0)))
              for name, builder in builders.items()
@@ -120,13 +123,14 @@ def figure7(seed: int = DEFAULT_SEED,
             timeout: Optional[float] = None,
             trace: Optional[SweepTraceCollector] = None,
             builders: Optional[Dict[str, Callable[..., KernelCase]]] = None,
+            machine: Optional[MachineConfig] = None,
             ) -> Tuple[List[SpeedupRow], float]:
     """Synthetic benchmark speedups and their geomean (paper: 1.32×)."""
     sizes = block_sizes or SYNTHETIC_BLOCK_SIZES
     selected = builders if builders is not None else SYNTHETIC_BUILDERS
     rows = run_sweep(selected, {n: sizes for n in selected},
-                     seed=seed, workers=workers, timeout=timeout,
-                     trace=trace, trace_section="figure7")
+                     seed=seed, machine=machine, workers=workers,
+                     timeout=timeout, trace=trace, trace_section="figure7")
     return rows, geomean([r.speedup for r in rows])
 
 
@@ -148,14 +152,15 @@ def figure8(seed: int = DEFAULT_SEED,
             timeout: Optional[float] = None,
             trace: Optional[SweepTraceCollector] = None,
             builders: Optional[Dict[str, Callable[..., KernelCase]]] = None,
+            machine: Optional[MachineConfig] = None,
             ) -> Figure8Result:
     """Real-benchmark speedups, geomean, and the paper's '+'-marked
     best-baseline-block-size analysis (paper: GM 1.15×, GM-best higher)."""
     sizes = block_sizes or REAL_BLOCK_SIZES
     selected = builders if builders is not None else REAL_WORLD_BUILDERS
     rows = run_sweep(selected, {n: sizes[n] for n in selected}, seed=seed,
-                     workers=workers, timeout=timeout, trace=trace,
-                     trace_section="figure8")
+                     machine=machine, workers=workers, timeout=timeout,
+                     trace=trace, trace_section="figure8")
 
     best_block: Dict[str, int] = {}
     for kernel in {r.kernel for r in rows}:

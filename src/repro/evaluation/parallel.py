@@ -34,6 +34,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.core import CFMConfig
 from repro.kernels.common import KernelCase
 from repro.obs import Tracer, use as use_tracer
+from repro.simt import MachineConfig
 
 from .runner import Comparison, CompileCache, compare
 
@@ -51,6 +52,9 @@ class SweepTask:
     grid_dim: int = 2
     seed: int = 1234
     config: Optional[CFMConfig] = None
+    #: machine model override (warp size, latency tables, executor);
+    #: None runs on repro.simt.DEFAULT_CONFIG
+    machine: Optional[MachineConfig] = None
     #: capture a repro.obs trace of this task (pass spans, melding
     #: decisions, warp divergence events) into TaskResult.trace_events
     trace: bool = False
@@ -102,14 +106,14 @@ def run_task(task: SweepTask, index: int = 0, attempts: int = 1) -> TaskResult:
         with use_tracer(Tracer()) as tracer:
             comparison = compare(
                 task.builder, task.block_size, grid_dim=task.grid_dim,
-                seed=task.seed, config=task.config, name=task.kernel,
-                cache=cache, collect_ir_stats=True)
+                seed=task.seed, config=task.config, machine=task.machine,
+                name=task.kernel, cache=cache, collect_ir_stats=True)
         events = list(tracer.events)
     else:
         comparison = compare(
             task.builder, task.block_size, grid_dim=task.grid_dim,
-            seed=task.seed, config=task.config, name=task.kernel,
-            cache=cache, collect_ir_stats=True)
+            seed=task.seed, config=task.config, machine=task.machine,
+            name=task.kernel, cache=cache, collect_ir_stats=True)
     return TaskResult(
         index=index, kernel=task.kernel, block_size=task.block_size,
         comparison=comparison, attempts=attempts,

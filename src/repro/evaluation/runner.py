@@ -190,12 +190,14 @@ class RunResult:
 def execute(case: KernelCase, seed: int = 1234,
             machine: Optional[MachineConfig] = None,
             check: bool = True,
-            trace_label: Optional[str] = None) -> RunResult:
+            trace_label: Optional[str] = None,
+            executor: Optional[str] = None) -> RunResult:
     inputs = case.make_buffers(seed)
     outputs, metrics = run_kernel(
         case.module, case.kernel, case.grid_dim, case.block_dim,
         buffers={name: list(data) for name, data in inputs.items()},
-        scalars=case.scalars, config=machine, trace_label=trace_label)
+        scalars=case.scalars, config=machine, trace_label=trace_label,
+        executor=executor)
     if check:
         case.verify_outputs(inputs, outputs)
     return RunResult(metrics=metrics, outputs=outputs)

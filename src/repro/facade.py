@@ -136,7 +136,8 @@ def launch(module: Union[Module, KernelLike], grid: int, block: int,
            machine: Optional[MachineConfig] = None,
            element_types: Optional[Mapping[str, Type]] = None,
            gpu: Optional[GPU] = None,
-           trace_label: Optional[str] = None) -> LaunchResult:
+           trace_label: Optional[str] = None,
+           executor: Optional[str] = None) -> LaunchResult:
     """Launch a kernel over ``grid`` blocks of ``block`` threads.
 
     ``args`` maps parameter names to scalars (Python ints/floats) or
@@ -145,11 +146,20 @@ def launch(module: Union[Module, KernelLike], grid: int, block: int,
     the module's only function.  Pass an existing :class:`GPU` (see
     ``GPU.reset``) to reuse one machine across many launches.
 
+    ``executor`` selects the warp executor ("fast" lowered µop programs,
+    "reference" IR tree-walker; default per ``MachineConfig.executor``).
+    An existing ``gpu`` already carries its executor choice, so passing
+    both is rejected as ambiguous.
+
     Under ``repro.trace(...)`` the launch records per-warp divergence
     events on its own trace process, named ``trace_label`` (default
     ``launch:<kernel>``).
     """
     module = _as_module(module)
+    if gpu is not None and executor is not None:
+        raise ValueError(
+            "pass executor= to GPU(...) when reusing a machine; "
+            "launch(gpu=..., executor=...) is ambiguous")
     if kernel is None:
         names = list(module.functions)
         if len(names) != 1:
@@ -158,7 +168,8 @@ def launch(module: Union[Module, KernelLike], grid: int, block: int,
                 f"pass kernel=<name>")
         kernel = names[0]
 
-    device = gpu if gpu is not None else GPU(module, machine)
+    device = gpu if gpu is not None else GPU(module, machine,
+                                             executor=executor)
     bound: Dict[str, object] = {}
     handles: Dict[str, Buffer] = {}
     for name, value in args.items():

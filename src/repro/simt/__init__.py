@@ -4,18 +4,32 @@ This package substitutes for the paper's AMD Vega 64 + rocprof setup: it
 executes kernels warp-by-warp in lockstep with an IPDOM reconvergence
 stack (the divergence mechanism CFM optimizes) and reports the same
 counter families the paper measures.
+
+Two executors share the machine semantics (see ``docs/performance.md``):
+the tree-walking **reference** interpreter (:class:`Warp`) and the
+lowered **fast** path (:class:`FastWarp` over a :class:`LoweredProgram`),
+selected via ``MachineConfig.executor`` or ``GPU(executor=...)``.
 """
 
-from .config import DEFAULT_CONFIG, MachineConfig
+from .config import DEFAULT_CONFIG, EXECUTORS, MachineConfig
+from .fastpath import FastWarp
+from .lowering import (
+    LoweredProgram,
+    get_program,
+    invalidate_lowering,
+    lower_function,
+)
 from .machine import GPU, Buffer, run_kernel
 from .memory import DeviceMemory, MemoryError_, sizeof
 from .metrics import Metrics
 from .warp import SimulationError, UNDEF, Warp
 
 __all__ = [
-    "DEFAULT_CONFIG", "MachineConfig",
+    "DEFAULT_CONFIG", "EXECUTORS", "MachineConfig",
     "GPU", "Buffer", "run_kernel",
     "DeviceMemory", "MemoryError_", "sizeof",
     "Metrics",
     "SimulationError", "UNDEF", "Warp",
+    "FastWarp", "LoweredProgram",
+    "get_program", "invalidate_lowering", "lower_function",
 ]

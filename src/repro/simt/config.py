@@ -13,6 +13,9 @@ from dataclasses import dataclass, field
 
 from repro.analysis.latency import LatencyModel
 
+#: recognized ``MachineConfig.executor`` / ``GPU(executor=...)`` values
+EXECUTORS = ("fast", "reference")
+
 
 @dataclass
 class MachineConfig:
@@ -29,6 +32,10 @@ class MachineConfig:
     max_warp_steps: int = 2_000_000
     #: record a per-branch divergence profile (Metrics.branch_profile)
     profile_branches: bool = False
+    #: warp executor: "fast" runs lowered µop programs (repro.simt.fastpath),
+    #: "reference" walks the IR directly (repro.simt.warp) — bit-identical
+    #: semantics, held together by tests/simt/test_executor_diff.py
+    executor: str = "fast"
 
     def transactions_for(self, addresses) -> int:
         """Number of coalescing segments touched by the given byte

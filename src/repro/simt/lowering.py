@@ -1,0 +1,550 @@
+"""Lowering: one-time translation of an :class:`ir.Function` into a flat
+µop program for the fast-path warp executor.
+
+The tree-walking interpreter in :mod:`repro.simt.warp` re-discovers the
+same facts for every instruction, every lane, every launch: which Python
+class the instruction is, where its operands live, what its latency is,
+where its branch reconverges.  Lowering hoists all of that to launch
+time:
+
+* **dense virtual registers** — every SSA value (instruction results,
+  arguments, constants, globals, ``undef``) gets one slot in a flat
+  register file; operand access is a list index instead of a dict lookup
+  through a :class:`~repro.ir.values.Value` key;
+* **per-opcode dispatch** — each instruction becomes one µop tuple whose
+  head is a small-int kind, with a *pre-specialized* per-lane evaluation
+  closure (wraparound masks, comparison predicates, GEP scale factors
+  all baked in at lowering time);
+* **precomputed control flow** — branch targets, φ transfer plans per
+  CFG edge (parallel read-then-write pairs), and IPDOM reconvergence
+  points are resolved to block indices once.
+
+Programs are cached per function behind the same memo pattern as
+:func:`repro.analysis.cached_divergence`, with two refinements: the
+cache key includes a **latency-model token** (latencies are baked into
+the µops, so two machines with different models must not share a
+program) and the structural fingerprint covers **operand identity**
+(ids of operands, successors and φ incoming blocks), so in-place operand
+rewrites miss the cache instead of silently replaying stale code.
+
+Semantics are bit-identical to the reference interpreter by
+construction: the per-lane closures reuse (or inline exactly) the scalar
+semantics of :mod:`repro.ir.scalars`, undef propagation matches
+:class:`~repro.simt.warp.Warp` observation points, and trap messages
+embed the instruction's printed form captured at lowering time.
+"""
+
+from __future__ import annotations
+
+import operator
+import weakref
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.analysis.dominators import (
+    compute_postdominator_tree,
+    immediate_postdominator,
+)
+from repro.analysis.latency import LatencyModel
+from repro.ir.block import BasicBlock
+from repro.ir.function import Function, GlobalVariable
+from repro.ir.instructions import (
+    BinaryOp,
+    Branch,
+    Call,
+    Cast,
+    FCmp,
+    GetElementPtr,
+    ICmp,
+    Instruction,
+    IntrinsicName,
+    Load,
+    Opcode,
+    Phi,
+    Ret,
+    Select,
+    Store,
+    UnaryOp,
+)
+from repro.ir.scalars import EvalError, eval_binary, eval_icmp, unsigned, wrap
+from repro.ir.types import FloatType, IntType
+from repro.ir.values import Argument, Constant, Undef, Value
+
+from .memory import sizeof
+from .warp import SimulationError, UNDEF
+
+# ---------------------------------------------------------------------------
+# µop encoding
+#
+# Each non-φ, non-terminator instruction lowers to one tuple whose first
+# element is a kind tag; the executor dispatches on it with an if/elif
+# chain ordered by dynamic frequency.  Shapes:
+#
+#   (OP_COMPUTE2, dest, src_a, src_b, loop_fn, latency)
+#   (OP_LOAD,     dest, src_ptr, address_space, latency, repr)
+#   (OP_STORE,    src_val, src_ptr, address_space, latency, repr)
+#   (OP_SELECT,   dest, src_cond, src_true, src_false, latency)
+#   (OP_COMPUTE1, dest, src_a, loop_fn, latency)
+#   (OP_SREG,     dest, sreg_tag, latency)
+#   (OP_BARRIER,  latency)
+#   (OP_TRAP,     message)
+#
+# ``loop_fn(rd, ra[, rb], lanes)`` evaluates the whole active mask in one
+# call, so dispatch cost is paid per µop execution, not per lane.
+
+OP_COMPUTE2 = 0
+OP_LOAD = 1
+OP_STORE = 2
+OP_SELECT = 3
+OP_COMPUTE1 = 4
+OP_SREG = 5
+OP_BARRIER = 6
+OP_TRAP = 7
+
+#: OP_SREG tags (index into the warp's special-register bank)
+SREG_TID, SREG_NTID, SREG_CTAID, SREG_NCTAID = 0, 1, 2, 3
+
+# Terminator shapes:
+#   (TERM_RET,)
+#   (TERM_BR,  succ_index, transfer_pairs)
+#   (TERM_CBR, src_cond, true_index, false_index, rpc_index,
+#              true_pairs, false_pairs, repr)
+# ``rpc_index`` is -1 when the branch has no immediate post-dominator
+# (both sides run to completion and never merge).  ``*_pairs`` are
+# tuples of ``(dest_slot, src_slot)`` implementing the successor's φs
+# for that edge with parallel read-then-write semantics.
+# ``TERM_NONE`` marks a block without a terminator: the reference
+# interpreter re-executes such a block until the step guard trips, and
+# the fast path mirrors that (the verifier rejects this shape anyway).
+
+TERM_RET = 0
+TERM_BR = 1
+TERM_CBR = 2
+TERM_NONE = 3
+
+
+class LoweredBlock:
+    """One basic block, lowered: ``(name, µops, terminator)``."""
+
+    __slots__ = ("name", "ops", "term")
+
+    def __init__(self, name: str, ops: Tuple[tuple, ...], term: tuple) -> None:
+        self.name = name
+        self.ops = ops
+        self.term = term
+
+
+class LoweredProgram:
+    """A whole function, lowered once per (function, latency model)."""
+
+    __slots__ = ("function_name", "blocks", "entry_index", "num_slots",
+                 "const_slots", "arg_slots", "global_slots", "branch_latency")
+
+    def __init__(self, function_name: str, blocks: List[LoweredBlock],
+                 entry_index: int, num_slots: int,
+                 const_slots: List[Tuple[int, object]],
+                 arg_slots: List[Tuple[int, Argument]],
+                 global_slots: List[Tuple[int, GlobalVariable]],
+                 branch_latency: int) -> None:
+        self.function_name = function_name
+        self.blocks = blocks
+        self.entry_index = entry_index
+        self.num_slots = num_slots
+        self.const_slots = const_slots
+        self.arg_slots = arg_slots
+        self.global_slots = global_slots
+        self.branch_latency = branch_latency
+
+
+# ---------------------------------------------------------------------------
+# per-lane evaluation closures
+#
+# Each maker returns ``run(rd, ra[, rb], lanes)`` evaluating every active
+# lane.  Undef handling matches the reference interpreter exactly: any
+# undef input yields an undef output for pure ops; traps re-raise as
+# SimulationError with the instruction's printed form.
+
+_INT_OPERATORS = {
+    Opcode.ADD: operator.add, Opcode.SUB: operator.sub,
+    Opcode.MUL: operator.mul, Opcode.AND: operator.and_,
+    Opcode.OR: operator.or_, Opcode.XOR: operator.xor,
+}
+_FLOAT_OPERATORS = {
+    Opcode.FADD: operator.add, Opcode.FSUB: operator.sub,
+    Opcode.FMUL: operator.mul,
+}
+_SIGNED_CMP_OPERATORS = {
+    "eq": operator.eq, "ne": operator.ne,
+    "slt": operator.lt, "sle": operator.le,
+    "sgt": operator.gt, "sge": operator.ge,
+}
+
+
+def _make_int2(pyop: Callable, type_: IntType) -> Callable:
+    """Wraparound integer binary op — inlines :func:`scalars.wrap`."""
+    mask_v = (1 << type_.bits) - 1
+    if type_.bits > 1:
+        sign = 1 << (type_.bits - 1)
+        mod = 1 << type_.bits
+
+        def run(rd, ra, rb, lanes):
+            for i in lanes:
+                a = ra[i]
+                b = rb[i]
+                if a is UNDEF or b is UNDEF:
+                    rd[i] = UNDEF
+                else:
+                    v = pyop(a, b) & mask_v
+                    rd[i] = v - mod if v >= sign else v
+    else:
+        def run(rd, ra, rb, lanes):
+            for i in lanes:
+                a = ra[i]
+                b = rb[i]
+                rd[i] = UNDEF if (a is UNDEF or b is UNDEF) else pyop(a, b) & mask_v
+    return run
+
+
+def _make_float2(pyop: Callable) -> Callable:
+    def run(rd, ra, rb, lanes):
+        for i in lanes:
+            a = ra[i]
+            b = rb[i]
+            rd[i] = UNDEF if (a is UNDEF or b is UNDEF) else pyop(a, b)
+    return run
+
+
+def _make_generic2(opcode: str, type_, instr_repr: str) -> Callable:
+    """Cold binary ops (div/rem/shift/fdiv): defer to ``eval_binary``."""
+    def run(rd, ra, rb, lanes):
+        for i in lanes:
+            a = ra[i]
+            b = rb[i]
+            if a is UNDEF or b is UNDEF:
+                rd[i] = UNDEF
+                continue
+            try:
+                rd[i] = eval_binary(opcode, a, b, type_)
+            except EvalError as exc:
+                raise SimulationError(f"{exc}: {instr_repr}") from exc
+    return run
+
+
+def _make_icmp(predicate: str, type_: IntType) -> Callable:
+    pyop = _SIGNED_CMP_OPERATORS.get(predicate)
+    if pyop is not None:
+        def run(rd, ra, rb, lanes):
+            for i in lanes:
+                a = ra[i]
+                b = rb[i]
+                if a is UNDEF or b is UNDEF:
+                    rd[i] = UNDEF
+                else:
+                    rd[i] = 1 if pyop(a, b) else 0
+    else:  # unsigned predicates need the width-aware reinterpretation
+        def run(rd, ra, rb, lanes):
+            for i in lanes:
+                a = ra[i]
+                b = rb[i]
+                if a is UNDEF or b is UNDEF:
+                    rd[i] = UNDEF
+                else:
+                    rd[i] = eval_icmp(predicate, a, b, type_)
+    return run
+
+
+def _make_fcmp(predicate: str) -> Callable:
+    pyop = {"oeq": operator.eq, "one": operator.ne,
+            "olt": operator.lt, "ole": operator.le,
+            "ogt": operator.gt, "oge": operator.ge}[predicate]
+
+    def run(rd, ra, rb, lanes):
+        for i in lanes:
+            a = ra[i]
+            b = rb[i]
+            if a is UNDEF or b is UNDEF:
+                rd[i] = UNDEF
+            else:
+                rd[i] = 1 if pyop(a, b) else 0
+    return run
+
+
+def _make_gep(element_size: int) -> Callable:
+    def run(rd, ra, rb, lanes):
+        for i in lanes:
+            a = ra[i]
+            b = rb[i]
+            rd[i] = UNDEF if (a is UNDEF or b is UNDEF) else a + b * element_size
+    return run
+
+
+def _make_minmax(fn: Callable) -> Callable:
+    def run(rd, ra, rb, lanes):
+        for i in lanes:
+            a = ra[i]
+            b = rb[i]
+            rd[i] = UNDEF if (a is UNDEF or b is UNDEF) else fn(a, b)
+    return run
+
+
+def _make_fneg() -> Callable:
+    def run(rd, ra, lanes):
+        for i in lanes:
+            v = ra[i]
+            rd[i] = UNDEF if v is UNDEF else -v
+    return run
+
+
+def _make_cast(opcode: str, from_type, to_type) -> Callable:
+    """Casts never trap; inline the :func:`scalars.eval_cast` arms."""
+    if opcode == Opcode.ZEXT:
+        convert = lambda v: unsigned(v, from_type)
+    elif opcode == Opcode.SEXT:
+        convert = lambda v: v
+    elif opcode == Opcode.TRUNC:
+        convert = lambda v: wrap(v, to_type)
+    elif opcode == Opcode.SITOFP:
+        convert = float
+    elif opcode == Opcode.FPTOSI:
+        convert = lambda v: wrap(int(v), to_type)
+    else:  # bitcast: pointer reinterpretation, value unchanged
+        convert = lambda v: v
+
+    def run(rd, ra, lanes):
+        for i in lanes:
+            v = ra[i]
+            rd[i] = UNDEF if v is UNDEF else convert(v)
+    return run
+
+
+def _binary_loop_fn(instr: BinaryOp) -> Callable:
+    opcode = instr.opcode
+    if isinstance(instr.type, FloatType):
+        pyop = _FLOAT_OPERATORS.get(opcode)
+        if pyop is not None:
+            return _make_float2(pyop)
+        return _make_generic2(opcode, instr.type, repr(instr))  # fdiv
+    pyop = _INT_OPERATORS.get(opcode)
+    if pyop is not None:
+        return _make_int2(pyop, instr.type)
+    return _make_generic2(opcode, instr.type, repr(instr))  # div/rem/shift
+
+
+# ---------------------------------------------------------------------------
+# the lowerer
+
+
+class _Lowerer:
+    def __init__(self, function: Function, latency: LatencyModel) -> None:
+        self.function = function
+        self.latency = latency
+        self._slots: Dict[object, int] = {}
+        self._next_slot = 0
+        self.const_slots: List[Tuple[int, object]] = []
+        self.arg_slots: List[Tuple[int, Argument]] = []
+        self.global_slots: List[Tuple[int, GlobalVariable]] = []
+
+    def slot(self, value: Value) -> int:
+        # All undefs share one slot: the register file is UNDEF-initialized,
+        # so the shared slot never needs writing.
+        key = "__undef__" if isinstance(value, Undef) else value
+        index = self._slots.get(key)
+        if index is None:
+            index = self._next_slot
+            self._next_slot += 1
+            self._slots[key] = index
+            if isinstance(value, Constant):
+                self.const_slots.append((index, value.value))
+            elif isinstance(value, Argument):
+                self.arg_slots.append((index, value))
+            elif isinstance(value, GlobalVariable):
+                self.global_slots.append((index, value))
+        return index
+
+    def lower(self) -> LoweredProgram:
+        function = self.function
+        blocks = function.blocks
+        block_index = {id(block): i for i, block in enumerate(blocks)}
+        pdt = compute_postdominator_tree(function)
+
+        lowered: List[LoweredBlock] = []
+        for block in blocks:
+            ops: List[tuple] = []
+            term: tuple = (TERM_NONE,)
+            for instr in block.instructions:
+                if isinstance(instr, Phi):
+                    continue  # applied on edge transfer
+                if isinstance(instr, Branch):
+                    term = self._lower_branch(instr, block, block_index, pdt)
+                    break
+                if isinstance(instr, Ret):
+                    term = (TERM_RET,)
+                    break
+                ops.append(self._lower_simple(instr))
+            lowered.append(LoweredBlock(block.name, tuple(ops), term))
+
+        return LoweredProgram(
+            function_name=function.name,
+            blocks=lowered,
+            entry_index=block_index[id(function.entry)],
+            num_slots=self._next_slot,
+            const_slots=self.const_slots,
+            arg_slots=self.arg_slots,
+            global_slots=self.global_slots,
+            branch_latency=self.latency.branch_latency,
+        )
+
+    # ---- straight-line instructions ---------------------------------------
+
+    def _lower_simple(self, instr: Instruction) -> tuple:
+        latency = self.latency.latency(instr)
+        if isinstance(instr, BinaryOp):
+            return (OP_COMPUTE2, self.slot(instr), self.slot(instr.lhs),
+                    self.slot(instr.rhs), _binary_loop_fn(instr), latency)
+        if isinstance(instr, ICmp):
+            return (OP_COMPUTE2, self.slot(instr), self.slot(instr.lhs),
+                    self.slot(instr.rhs),
+                    _make_icmp(instr.predicate, instr.lhs.type), latency)
+        if isinstance(instr, FCmp):
+            return (OP_COMPUTE2, self.slot(instr), self.slot(instr.lhs),
+                    self.slot(instr.rhs), _make_fcmp(instr.predicate), latency)
+        if isinstance(instr, Select):
+            return (OP_SELECT, self.slot(instr), self.slot(instr.condition),
+                    self.slot(instr.true_value), self.slot(instr.false_value),
+                    latency)
+        if isinstance(instr, GetElementPtr):
+            return (OP_COMPUTE2, self.slot(instr), self.slot(instr.base),
+                    self.slot(instr.index),
+                    _make_gep(sizeof(instr.base.type.pointee)), latency)
+        if isinstance(instr, Load):
+            return (OP_LOAD, self.slot(instr), self.slot(instr.pointer),
+                    instr.address_space, latency, repr(instr))
+        if isinstance(instr, Store):
+            return (OP_STORE, self.slot(instr.value), self.slot(instr.pointer),
+                    instr.address_space, latency, repr(instr))
+        if isinstance(instr, Cast):
+            return (OP_COMPUTE1, self.slot(instr), self.slot(instr.value),
+                    _make_cast(instr.opcode, instr.value.type, instr.type),
+                    latency)
+        if isinstance(instr, UnaryOp):
+            return (OP_COMPUTE1, self.slot(instr), self.slot(instr.operand(0)),
+                    _make_fneg(), latency)
+        if isinstance(instr, Call):
+            return self._lower_call(instr, latency)
+        # The reference interpreter traps when asked to evaluate an
+        # unknown instruction; lower it to the same trap, fired lazily so
+        # unreachable code does not poison the whole program.
+        return (OP_TRAP, f"cannot evaluate {instr!r}")
+
+    def _lower_call(self, call: Call, latency: int) -> tuple:
+        name = call.callee
+        if call.is_barrier:
+            return (OP_BARRIER, self.latency.barrier_latency)
+        if name == IntrinsicName.TID_X:
+            return (OP_SREG, self.slot(call), SREG_TID, latency)
+        if name == IntrinsicName.NTID_X:
+            return (OP_SREG, self.slot(call), SREG_NTID, latency)
+        if name == IntrinsicName.CTAID_X:
+            return (OP_SREG, self.slot(call), SREG_CTAID, latency)
+        if name == IntrinsicName.NCTAID_X:
+            return (OP_SREG, self.slot(call), SREG_NCTAID, latency)
+        if name in (IntrinsicName.MIN, IntrinsicName.MAX):
+            fn = min if name == IntrinsicName.MIN else max
+            return (OP_COMPUTE2, self.slot(call), self.slot(call.args[0]),
+                    self.slot(call.args[1]), _make_minmax(fn), latency)
+        return (OP_TRAP, f"unknown intrinsic @{name}")
+
+    # ---- control flow ------------------------------------------------------
+
+    def _transfer_pairs(self, pred: BasicBlock,
+                        succ: BasicBlock) -> Tuple[Tuple[int, int], ...]:
+        return tuple((self.slot(phi), self.slot(phi.incoming_for(pred)))
+                     for phi in succ.phis)
+
+    def _lower_branch(self, branch: Branch, block: BasicBlock,
+                      block_index: Dict[int, int], pdt) -> tuple:
+        if not branch.is_conditional:
+            succ = branch.true_successor
+            return (TERM_BR, block_index[id(succ)],
+                    self._transfer_pairs(block, succ))
+        true_succ = branch.true_successor
+        false_succ = branch.false_successor
+        rpc = immediate_postdominator(pdt, block)
+        return (TERM_CBR, self.slot(branch.condition),
+                block_index[id(true_succ)], block_index[id(false_succ)],
+                -1 if rpc is None else block_index[id(rpc)],
+                self._transfer_pairs(block, true_succ),
+                self._transfer_pairs(block, false_succ),
+                repr(branch))
+
+
+def lower_function(function: Function, latency: LatencyModel) -> LoweredProgram:
+    """Lower ``function`` to a µop program (uncached; see :func:`get_program`)."""
+    return _Lowerer(function, latency).lower()
+
+
+# ---------------------------------------------------------------------------
+# memoization — same shape as analysis.cached_divergence, but keyed also
+# on the latency model (latencies are baked into µops) and fingerprinted
+# down to operand identity (operand rewrites must miss).
+
+_program_cache: "weakref.WeakKeyDictionary[Function, Dict[tuple, Tuple[tuple, LoweredProgram]]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def latency_token(model: LatencyModel) -> tuple:
+    """Hashable identity of a latency model's observable contents."""
+    return (tuple(sorted(model.opcode_latency.items())),
+            tuple(sorted(model.memory_latency.items())),
+            model.barrier_latency)
+
+
+def function_fingerprint(function: Function) -> tuple:
+    """Structural + operand-identity fingerprint of a function.
+
+    Unlike :func:`analysis.divergence._fingerprint`, this sees in-place
+    operand rewrites, successor retargeting and φ incoming edits, so
+    callers never need an explicit invalidation between compile and
+    launch.  Cost is O(instructions) per launch — noise next to the
+    execution it guards.
+    """
+    parts = []
+    for block in function.blocks:
+        row: List[int] = [id(block)]
+        append = row.append
+        for instr in block.instructions:
+            append(id(instr))
+            for op in instr._operands:
+                append(id(op))
+            if isinstance(instr, Branch):
+                for succ in instr._successors:
+                    append(id(succ))
+            elif isinstance(instr, Phi):
+                for pred in instr._incoming_blocks:
+                    append(id(pred))
+        parts.append(tuple(row))
+    return tuple(parts)
+
+
+def get_program(function: Function, latency: LatencyModel) -> LoweredProgram:
+    """Memoized :func:`lower_function` (the launch-time entry point)."""
+    token = latency_token(latency)
+    fingerprint = function_fingerprint(function)
+    per_function = _program_cache.get(function)
+    if per_function is not None:
+        hit = per_function.get(token)
+        if hit is not None and hit[0] == fingerprint:
+            return hit[1]
+    else:
+        per_function = {}
+        _program_cache[function] = per_function
+    program = lower_function(function, latency)
+    per_function[token] = (fingerprint, program)
+    return program
+
+
+def invalidate_lowering(function: Function) -> None:
+    """Drop cached programs for ``function`` (operand-identity
+    fingerprinting makes this rarely necessary; provided for symmetry
+    with :func:`repro.analysis.invalidate_divergence`)."""
+    _program_cache.pop(function, None)

@@ -22,7 +22,9 @@ from repro.ir.types import IntType, Type, I32
 from repro.ir.values import Argument
 from repro.obs import WarpTrace, current_tracer, flush_warp_trace
 
-from .config import DEFAULT_CONFIG, MachineConfig
+from .config import DEFAULT_CONFIG, EXECUTORS, MachineConfig
+from .fastpath import FastWarp
+from .lowering import get_program
 from .memory import DeviceMemory, Segment
 from .metrics import Metrics
 from .warp import SimulationError, UNDEF, Warp
@@ -76,9 +78,16 @@ class GPU:
             gpu.launch("kernel", grid, block, {"data": buf})
     """
 
-    def __init__(self, module: Module, config: Optional[MachineConfig] = None) -> None:
+    def __init__(self, module: Module, config: Optional[MachineConfig] = None,
+                 executor: Optional[str] = None) -> None:
         self.module = module
         self.config = config or DEFAULT_CONFIG
+        #: "fast" (lowered µop programs) or "reference" (IR tree-walker);
+        #: defaults to the config's choice, overridable per machine
+        self.executor = executor if executor is not None else self.config.executor
+        if self.executor not in EXECUTORS:
+            raise ValueError(
+                f"unknown executor {self.executor!r}; expected one of {EXECUTORS}")
         self.memory = DeviceMemory(module)
         #: launches since construction (reset() does not clear it)
         self.launch_count = 0
@@ -131,6 +140,11 @@ class GPU:
                     if isinstance(kernel, str) else kernel)
         self.launch_count += 1
         bound = self._bind_args(function, args)
+        # Fast path: lower the function once per launch (memoized across
+        # launches by fingerprint + latency model, so the per-launch cost
+        # of a cache hit is one fingerprint walk).
+        program = (get_program(function, self.config.latency)
+                   if self.executor == "fast" else None)
         tracer = current_tracer()
         pid = 0
         if tracer.enabled:
@@ -139,7 +153,8 @@ class GPU:
         total = Metrics(warp_size=self.config.warp_size)
         for block_id in range(grid_dim):
             block_metrics = self._run_block(function, block_id, grid_dim,
-                                            block_dim, bound, tracer, pid)
+                                            block_dim, bound, tracer, pid,
+                                            program)
             total.merge(block_metrics)
         return total
 
@@ -160,20 +175,26 @@ class GPU:
 
     def _run_block(self, function: Function, block_id: int, grid_dim: int,
                    block_dim: int, args: Dict[Argument, object],
-                   tracer=None, pid: int = 0) -> Metrics:
+                   tracer=None, pid: int = 0, program=None) -> Metrics:
         view = self.memory.shared_for_block(block_id)
         warp_size = self.config.warp_size
         tracing = tracer is not None and tracer.enabled
         traces: List[WarpTrace] = []
-        warps: List[Warp] = []
+        warps: List[Union[Warp, FastWarp]] = []
         for start in range(0, block_dim, warp_size):
             lanes = list(range(start, min(start + warp_size, block_dim)))
             trace = None
             if tracing:
                 trace = WarpTrace(block_id, len(warps))
                 traces.append(trace)
-            warps.append(Warp(function, lanes, block_dim, block_id, grid_dim,
-                              args, view, self.config, trace=trace))
+            if program is not None:
+                warps.append(FastWarp(program, lanes, block_dim, block_id,
+                                      grid_dim, args, view, self.config,
+                                      trace=trace))
+            else:
+                warps.append(Warp(function, lanes, block_dim, block_id,
+                                  grid_dim, args, view, self.config,
+                                  trace=trace))
 
         generators = [warp.run() for warp in warps]
         active = list(range(len(warps)))
@@ -216,13 +237,14 @@ def run_kernel(
     element_types: Optional[Dict[str, Type]] = None,
     config: Optional[MachineConfig] = None,
     trace_label: Optional[str] = None,
+    executor: Optional[str] = None,
 ) -> tuple:
     """One-shot convenience: allocate, launch, and read back.
 
     Returns ``(outputs, metrics)`` where ``outputs`` maps each buffer name
     to its final contents.
     """
-    gpu = GPU(module, config)
+    gpu = GPU(module, config, executor=executor)
     args: Dict[str, object] = dict(scalars or {})
     handles: Dict[str, Buffer] = {}
     for name, data in buffers.items():

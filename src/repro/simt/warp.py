@@ -84,6 +84,27 @@ class _UndefValue:
 UNDEF = _UndefValue()
 
 
+def account_memory(metrics: Metrics, config: MachineConfig, static_space: int,
+                   addresses: List[int], latency: int) -> None:
+    """Charge one memory issue: coalescing, transaction count, cycles.
+
+    Shared by both executors (:class:`Warp` and
+    :class:`repro.simt.fastpath.FastWarp`) so the cycle model cannot
+    drift between them.  FLAT instructions resolve dynamically; the
+    cycle/transaction model uses the space the addresses actually landed
+    in, but the ISSUE is counted under its static encoding (vega
+    vmem/lds/flat counters).
+    """
+    resolved_shared = bool(addresses) and addresses[0] >= SHARED_BASE
+    if static_space == AddressSpace.SHARED or (
+            static_space == AddressSpace.FLAT and resolved_shared):
+        transactions = 1
+    else:
+        transactions = max(1, config.transactions_for(addresses))
+    extra = (transactions - 1) * config.extra_transaction_cycles
+    metrics.record_memory(static_space, latency + extra, transactions)
+
+
 class _StackEntry:
     __slots__ = ("pc", "rpc", "mask")
 
@@ -226,17 +247,8 @@ class Warp:
         self.metrics.record_alu(len(mask), latency)
 
     def _record_memory(self, static_space: int, addresses: List[int], latency: int) -> None:
-        # FLAT instructions resolve dynamically; for the cycle/transaction
-        # model use the space the addresses actually landed in, but count
-        # the ISSUE under its static encoding (vega vmem/lds/flat counters).
-        resolved_shared = bool(addresses) and addresses[0] >= SHARED_BASE
-        if static_space == AddressSpace.SHARED or (
-                static_space == AddressSpace.FLAT and resolved_shared):
-            transactions = 1
-        else:
-            transactions = max(1, self.config.transactions_for(addresses))
-        extra = (transactions - 1) * self.config.extra_transaction_cycles
-        self.metrics.record_memory(static_space, latency + extra, transactions)
+        account_memory(self.metrics, self.config, static_space, addresses,
+                       latency)
 
     # ---- control flow --------------------------------------------------------------
 

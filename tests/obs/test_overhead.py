@@ -12,7 +12,12 @@ the test only fails if someone puts real work on the disabled path.
 import time
 import timeit
 
+import pytest
+
+import repro
+from repro.kernels import build_sb1
 from repro.obs import Tracer, use
+from repro.obs.report import divergence_summary
 from repro.simt import run_kernel
 
 from tests.support import parse
@@ -35,17 +40,17 @@ m:
 """
 
 
-def launch():
+def launch(executor=None):
     f = parse(DIVERGENT)
     return run_kernel(f.module, "k", 4, 32, buffers={"p": [0] * 128},
-                      scalars={"n": 77})
+                      scalars={"n": 77}, executor=executor)
 
 
-def count_instrumented_sites() -> int:
+def count_instrumented_sites(executor=None) -> int:
     """How many record calls one launch would make when traced."""
     tracer = Tracer()
     with use(tracer):
-        launch()
+        launch(executor)
     return len(tracer.events)
 
 
@@ -73,3 +78,66 @@ class TestDisabledOverheadBudget:
             f"{sites} sites x {per_check * 1e9:.1f}ns = "
             f"{overhead * 1e6:.1f}us exceeds 2% of "
             f"{launch_seconds * 1e3:.2f}ms launch")
+
+    @pytest.mark.parametrize("executor", ["fast", "reference"])
+    def test_disabled_checks_stay_under_budget_per_executor(self, executor):
+        """The 2% budget holds on the fast path specifically: its launch
+        is several times shorter than the reference's, so the same
+        absolute site count eats a proportionally bigger share."""
+        sites = count_instrumented_sites(executor)
+        assert sites > 0
+        # Both executors must pass the same instrumentation sites — the
+        # trace-parity contract implies site-count parity.
+        assert sites == count_instrumented_sites(
+            "reference" if executor == "fast" else "fast")
+
+        loops = 100_000
+        probe = None
+        per_check = timeit.timeit(
+            "x = probe is not None", globals={"probe": probe},
+            number=loops) / loops
+
+        samples = []
+        for _ in range(3):
+            start = time.perf_counter()
+            launch(executor)
+            samples.append(time.perf_counter() - start)
+        launch_seconds = sorted(samples)[1]  # median of 3
+
+        overhead = sites * per_check
+        assert overhead < 0.02 * launch_seconds, (
+            f"[{executor}] {sites} sites x {per_check * 1e9:.1f}ns = "
+            f"{overhead * 1e6:.1f}us exceeds 2% of "
+            f"{launch_seconds * 1e3:.2f}ms launch")
+
+
+class TestGoldenHeatmapFastPath:
+    """The SB1 golden divergence numbers (tests/obs/test_determinism.py)
+    re-asserted with the executor pinned to "fast": the heatmap is built
+    purely from trace events, so identical numbers here mean the fast
+    path emits the exact same event stream."""
+
+    def _summary(self, cfm: bool):
+        tracer = Tracer()
+        with use(tracer):
+            case = build_sb1(8)
+            repro.compile(case.module.function(case.kernel), level="O3",
+                          cfm=cfm)
+            args = dict(case.make_buffers(0))
+            args.update(case.scalars)
+            repro.launch(case.module, case.grid_dim, case.block_dim, args,
+                         kernel=case.kernel, executor="fast",
+                         trace_label=("cfm" if cfm else "o3") + ":SB1")
+        (summary,) = divergence_summary(tracer.events)
+        return summary
+
+    def test_sb1_o3_golden_counts_on_fast_path(self):
+        summary = self._summary(cfm=False)
+        assert summary.divergent_branch_executions == 8
+        assert summary.branch_executions == 24
+        entry = summary.blocks["entry"]
+        assert entry.divergent_executions == 2
+        assert entry.mean_active_lanes == 8.0
+
+    def test_sb1_cfm_golden_counts_on_fast_path(self):
+        assert self._summary(cfm=True).divergent_branch_executions == 0

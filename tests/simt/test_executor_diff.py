@@ -1,0 +1,101 @@
+"""Fast-vs-reference executor differential over the difftest corpus.
+
+The fast-path executor's contract is *bit-identical observables*: for
+any kernel the reference interpreter can run, both executors must
+produce the same device memory, the same :class:`~repro.simt.Metrics`
+counters, the same WarpTrace event stream (same events, same order,
+same simulated-cycle timestamps), and therefore the same divergence
+heatmap.  This suite holds them to it across the difftest generator
+corpus — every oracle arm (noopt, -O3, CFM, tail merging, branch
+fusion) of every seed, so melded, unpredicated and speculated control
+flow all pass through both executors.
+
+``REPRO_EXECUTOR_DIFF_SEEDS`` selects corpus width: tier-1 runs the
+default 10 seeds; the CI perf job sweeps 100.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+import repro
+from repro import GPU
+from repro.difftest.generator import generate_spec, make_inputs
+from repro.difftest.oracle import ALL_ARMS, _compile_arm
+from repro.obs import Tracer, use
+from repro.obs.report import divergence_summary, render_report
+
+SEED_COUNT = int(os.environ.get("REPRO_EXECUTOR_DIFF_SEEDS", "10"))
+INPUT_SEEDS = (0, 1)
+
+#: wall-clock trace fields; everything else must match bit for bit
+WALL_CLOCK_KEYS = ("ts", "dur")
+
+
+def _normalize(event):
+    out = {k: v for k, v in event.items() if k not in WALL_CLOCK_KEYS}
+    if event.get("cat") == "sim" or event.get("ph") == "C":
+        out["ts"] = event["ts"]  # simulated cycles: deterministic, keep
+    return out
+
+
+def _run_arm_observed(builder, spec, executor):
+    """Launch one compiled arm on one executor; return all observables."""
+    tracer = Tracer()
+    with use(tracer):
+        with GPU(builder.module, executor=executor) as gpu:
+            runs = []
+            for input_seed in INPUT_SEEDS:
+                args = make_inputs(spec, input_seed)
+                result = repro.launch(builder.module, spec.grid_dim,
+                                      spec.block_dim, args, gpu=gpu,
+                                      trace_label=f"diff:{input_seed}")
+                runs.append((result.outputs, result.metrics.as_dict()))
+                gpu.reset()
+    events = [_normalize(e) for e in tracer.events]
+    summaries = divergence_summary(tracer.events)
+    heatmap = [(s.label, s.divergent_branch_executions, s.branch_executions)
+               for s in summaries]
+    return {
+        "runs": runs,
+        "events": events,
+        "heatmap": heatmap,
+        "report": render_report(tracer.events),
+    }
+
+
+@pytest.mark.parametrize("seed", range(SEED_COUNT))
+def test_executors_agree_on_generated_kernel(seed):
+    spec = generate_spec(seed)
+    for arm in ALL_ARMS:
+        report = _compile_arm(arm, spec, None)
+        if report.failure is not None or report.builder is None:
+            continue  # compile-side failure: not this suite's concern
+        try:
+            reference = _run_arm_observed(report.builder, spec, "reference")
+        except Exception as exc:
+            # The reference arm rejects this kernel (e.g. a runtime
+            # trap); the fast path must reject it identically.
+            with pytest.raises(type(exc)) as excinfo:
+                _run_arm_observed(report.builder, spec, "fast")
+            assert str(excinfo.value) == str(exc), \
+                f"seed {seed} arm {arm}: executors trap differently"
+            continue
+        fast = _run_arm_observed(report.builder, spec, "fast")
+        for index, (ref_run, fast_run) in enumerate(
+                zip(reference["runs"], fast["runs"])):
+            assert fast_run[0] == ref_run[0], \
+                f"seed {seed} arm {arm} input {index}: device memory differs"
+            assert fast_run[1] == ref_run[1], \
+                f"seed {seed} arm {arm} input {index}: metrics differ"
+        assert fast["events"] == reference["events"], \
+            f"seed {seed} arm {arm}: trace event streams differ"
+        assert fast["heatmap"] == reference["heatmap"], \
+            f"seed {seed} arm {arm}: divergence heatmaps differ"
+        assert fast["report"] == reference["report"]
+
+
+def test_seed_width_is_env_tunable():
+    assert SEED_COUNT >= 1
