@@ -1,14 +1,15 @@
 """Executor performance benchmark suite (``python -m benchmarks.perf``).
 
 Measures the fast-path µop executor against the reference tree-walking
-interpreter and emits ``BENCH_PR5.json``:
+interpreter and emits ``BENCH_PR6.json``:
 
 * **micro** — per-opcode-class kernels (int ALU, float ALU,
   compare+select, global/shared memory, divergent branches, φ loops)
   reporting executor throughput in instructions issued per second;
 * **macro** — the Figure 8 real-benchmark sweep wall-clock split into
-  compile vs. simulate seconds per executor, plus difftest oracle
-  seeds per second per executor;
+  compile vs. simulate seconds per executor (compiled twice against a
+  persistent compile cache, so the cold-vs-warm replay speedup is
+  measured too), plus difftest oracle seeds per second per executor;
 * **guard** — thresholds from ``thresholds.json`` evaluated against the
   measurements (CI fails when the fast path regresses).
 

@@ -1,8 +1,11 @@
 """CLI entry point: ``python -m benchmarks.perf``.
 
-Runs the executor benchmark suite and writes ``BENCH_PR5.json``.  With
+Runs the executor benchmark suite and writes ``BENCH_PR6.json``
+(executor speedups plus the cold-vs-warm compile-cache split).  With
 ``--check`` the thresholds guard is evaluated and a miss exits 1 —
-this is what the CI perf-smoke job runs.
+this is what the CI perf-smoke job runs.  ``--cache-dir`` points the
+Figure 8 cold/warm measurement at a persistent directory instead of a
+throwaway one.
 """
 
 from __future__ import annotations
@@ -20,9 +23,13 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m benchmarks.perf",
         description="Benchmark the fast-path executor against the "
-                    "reference interpreter and emit BENCH_PR5.json.")
-    parser.add_argument("--out", type=Path, default=Path("BENCH_PR5.json"),
-                        help="output path (default: ./BENCH_PR5.json)")
+                    "reference interpreter and emit BENCH_PR6.json.")
+    parser.add_argument("--out", type=Path, default=Path("BENCH_PR6.json"),
+                        help="output path (default: ./BENCH_PR6.json)")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="persistent compile-cache directory for the "
+                             "figure8 cold/warm measurement (default: a "
+                             "temporary directory)")
     parser.add_argument("--repeats", type=int, default=3,
                         help="timing repeats per measurement (best-of)")
     parser.add_argument("--difftest-seeds", type=int, default=4,
@@ -38,7 +45,7 @@ def main(argv=None) -> int:
 
     results = run_suite(repeats=args.repeats,
                         difftest_seeds=args.difftest_seeds,
-                        quick=args.quick)
+                        quick=args.quick, cache_dir=args.cache_dir)
     args.out.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n",
                         encoding="utf-8")
 
@@ -50,6 +57,13 @@ def main(argv=None) -> int:
     print(f"macro figure8: simulate {figure8['simulate_speedup']:.2f}x, "
           f"end-to-end {figure8['end_to_end_speedup']:.2f}x "
           f"(compile {figure8['compile_seconds']:.2f}s)")
+    compile_split = figure8["compile"]
+    print(f"macro figure8 compile cache: cold "
+          f"{compile_split['cold_seconds']:.2f}s, warm "
+          f"{compile_split['warm_seconds']:.2f}s "
+          f"({compile_split['warm_speedup']:.1f}x; warm end-to-end "
+          f"{figure8['end_to_end_speedup_warm']:.2f}x, "
+          f"{compile_split['warm_cache']['hits']} hits)")
     difftest = results["macro"]["difftest"]
     print(f"macro difftest: {difftest['speedup']:.2f}x "
           f"({difftest['executors']['fast']['seeds_per_second']:.2f} seeds/s)")

@@ -1,4 +1,4 @@
-"""Threshold guard over BENCH_PR5 results.
+"""Threshold guard over BENCH_PR6 results.
 
 ``thresholds.json`` records the minimum fast-over-reference speedup per
 micro workload and for the macro measurements.  ``check_thresholds``
@@ -56,6 +56,11 @@ def check_thresholds(results: Dict, thresholds: Dict,
     if figure8 is not None:
         if not figure8.get("metrics_identical", False):
             failures.append("macro:figure8: executors disagree on metrics")
+        # Correctness of the warm replay gets no slack either: a warm
+        # compile cache must reproduce the cold pipeline bit for bit.
+        if "warm_ir_identical" in figure8 and \
+                not figure8["warm_ir_identical"]:
+            failures.append("macro:figure8: warm cache replay changed IR")
         minimum = macro.get("figure8_simulate_min_speedup")
         if minimum is not None and \
                 figure8["simulate_speedup"] < minimum * scale:
@@ -63,6 +68,13 @@ def check_thresholds(results: Dict, thresholds: Dict,
                 f"macro:figure8: simulate speedup "
                 f"{figure8['simulate_speedup']:.2f}x < {minimum:.2f}x "
                 f"(slack {slack:.0%})")
+        minimum = macro.get("figure8_warm_end_to_end_min_speedup")
+        warm = figure8.get("end_to_end_speedup_warm")
+        if minimum is not None and warm is not None and \
+                warm < minimum * scale:
+            failures.append(
+                f"macro:figure8: warm end-to-end speedup {warm:.2f}x < "
+                f"{minimum:.2f}x (slack {slack:.0%})")
     difftest = results.get("macro", {}).get("difftest")
     if difftest is not None:
         minimum = macro.get("difftest_min_speedup")

@@ -5,7 +5,10 @@ executors; throughput is ``metrics.instructions_issued`` over the best
 wall-clock of ``repeats`` runs.  Macro: the Figure 8 sweep is replayed
 with compilation hoisted out (each arm compiles once, then both
 executors simulate the same compiled module), so the compile/simulate
-split is measured directly rather than inferred; plus difftest oracle
+split is measured directly rather than inferred; the sweep compiles
+twice against one persistent :class:`~repro.compile_cache.DiskCompileCache`
+(cold, then a fresh in-process cache over the same directory) so the
+warm-replay speedup is part of the document; plus difftest oracle
 throughput in seeds per second per executor.
 
 Every measurement doubles as a parity check — outputs and the full
@@ -89,7 +92,10 @@ def bench_micro(repeats: int = 3,
 
 
 def bench_figure8(block_sizes: Optional[Dict[str, List[int]]] = None,
-                  repeats: int = 1) -> Dict:
+                  repeats: int = 1, cache_dir: Optional[str] = None) -> Dict:
+    import tempfile
+
+    from repro import print_module
     from repro.evaluation.experiments import (
         DEFAULT_GRID_DIM, DEFAULT_SEED, REAL_BLOCK_SIZES)
     from repro.evaluation.runner import (
@@ -97,17 +103,45 @@ def bench_figure8(block_sizes: Optional[Dict[str, List[int]]] = None,
     from repro.kernels import REAL_WORLD_BUILDERS
 
     sizes = block_sizes or REAL_BLOCK_SIZES
-    cache = CompileCache()
-    cases = []  # (label, compiled base case, compiled cfm case)
-    compile_start = time.perf_counter()
-    for kernel, builder in REAL_WORLD_BUILDERS.items():
-        for block_size in sizes[kernel]:
-            base = builder(block_size=block_size, grid_dim=DEFAULT_GRID_DIM)
-            cfm = builder(block_size=block_size, grid_dim=DEFAULT_GRID_DIM)
-            compile_baseline(base, cache=cache)
-            compile_cfm(cfm, cache=cache)
-            cases.append((f"{kernel}-{block_size}", base, cfm))
-    compile_seconds = time.perf_counter() - compile_start
+    tmp = None
+    if cache_dir is None:
+        tmp = tempfile.TemporaryDirectory(prefix="repro-bench-cache-")
+        cache_dir = tmp.name
+
+    def compile_all(cache):
+        compiled = []  # (label, compiled base case, compiled cfm case)
+        start = time.perf_counter()
+        for kernel, builder in REAL_WORLD_BUILDERS.items():
+            for block_size in sizes[kernel]:
+                base = builder(block_size=block_size,
+                               grid_dim=DEFAULT_GRID_DIM)
+                cfm = builder(block_size=block_size,
+                              grid_dim=DEFAULT_GRID_DIM)
+                compile_baseline(base, cache=cache)
+                compile_cfm(cfm, cache=cache)
+                compiled.append((f"{kernel}-{block_size}", base, cfm))
+        return compiled, time.perf_counter() - start
+
+    # Cold: empty disk cache, every pipeline runs for real (plus the
+    # write-through cost).  Warm: a fresh in-process cache over the same
+    # directory — exactly what a new worker process sees — must replay
+    # everything from disk and produce bit-identical IR.
+    cold_cache = CompileCache(disk=cache_dir)
+    cases, compile_seconds = compile_all(cold_cache)
+    warm_cache = CompileCache(disk=cache_dir)
+    warm_cases, warm_compile_seconds = compile_all(warm_cache)
+
+    def ir_of(compiled):
+        return [(label, print_module(base.module), print_module(cfm.module))
+                for label, base, cfm in compiled]
+
+    warm_ir_identical = ir_of(warm_cases) == ir_of(cases)
+    assert warm_ir_identical, \
+        "figure8 sweep: warm cache replay produced different IR"
+    assert warm_cache.misses == 0, \
+        f"figure8 sweep: warm compile missed {warm_cache.misses} entries"
+    if tmp is not None:
+        tmp.cleanup()
 
     executors: Dict[str, Dict] = {}
     fingerprints: Dict[str, List] = {}
@@ -137,15 +171,30 @@ def bench_figure8(block_sizes: Optional[Dict[str, List[int]]] = None,
     metrics_identical = fingerprints["reference"] == fingerprints["fast"]
     assert metrics_identical, \
         "figure8 sweep: executors disagree on outputs or metrics rows"
+    fast_simulate = executors["fast"]["simulate_seconds"]
     return {
         "cases": len(cases),
         "compile_seconds": compile_seconds,
+        "compile": {
+            "cold_seconds": compile_seconds,
+            "warm_seconds": warm_compile_seconds,
+            "warm_speedup": compile_seconds / warm_compile_seconds,
+            "cold_cache": cold_cache.counters(),
+            "warm_cache": warm_cache.counters(),
+        },
         "executors": executors,
         "simulate_speedup": (executors["reference"]["simulate_seconds"]
                              / executors["fast"]["simulate_seconds"]),
         "end_to_end_speedup": (executors["reference"]["total_seconds"]
                                / executors["fast"]["total_seconds"]),
+        # A warm evaluation run (persistent cache + fast executor)
+        # against the cold reference pipeline — the Figure 8 re-run cost
+        # the persistent cache is meant to kill.
+        "end_to_end_speedup_warm": (
+            executors["reference"]["total_seconds"]
+            / (warm_compile_seconds + fast_simulate)),
         "metrics_identical": metrics_identical,
+        "warm_ir_identical": warm_ir_identical,
     }
 
 
@@ -183,8 +232,9 @@ def bench_difftest(seeds: Sequence[int] = range(4)) -> Dict:
 
 
 def run_suite(repeats: int = 3, difftest_seeds: int = 4,
-              quick: bool = False) -> Dict:
-    """Run micro + macro benches and return the BENCH_PR5 document."""
+              quick: bool = False,
+              cache_dir: Optional[str] = None) -> Dict:
+    """Run micro + macro benches and return the BENCH_PR6 document."""
     if quick:
         repeats = min(repeats, 1)
         difftest_seeds = min(difftest_seeds, 2)
@@ -193,7 +243,7 @@ def run_suite(repeats: int = 3, difftest_seeds: int = 4,
         "repeats": repeats,
         "micro": bench_micro(repeats=repeats),
         "macro": {
-            "figure8": bench_figure8(repeats=repeats),
+            "figure8": bench_figure8(repeats=repeats, cache_dir=cache_dir),
             "difftest": bench_difftest(seeds=range(difftest_seeds)),
         },
     }

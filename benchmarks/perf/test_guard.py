@@ -78,6 +78,19 @@ def test_check_thresholds_macro_guards():
     assert any(f.startswith("macro:difftest") for f in failures)
 
 
+def test_check_thresholds_warm_cache_guards():
+    figure8 = {"metrics_identical": True, "simulate_speedup": 6.0,
+               "warm_ir_identical": False, "end_to_end_speedup_warm": 1.1}
+    results = {"micro": [], "macro": {"figure8": figure8}}
+    thresholds = {"macro": {"figure8_warm_end_to_end_min_speedup": 3.0}}
+    failures = check_thresholds(results, thresholds)
+    assert any("warm cache replay changed IR" in f for f in failures)
+    assert any("warm end-to-end speedup 1.10x" in f for f in failures)
+
+    figure8.update(warm_ir_identical=True, end_to_end_speedup_warm=7.5)
+    assert check_thresholds(results, thresholds) == []
+
+
 def test_check_thresholds_slack_scales_the_bar():
     results = _micro_results(
         [{"workload": "int_alu", "speedup": 1.9, "executors": {}}])

@@ -103,6 +103,11 @@ from repro.simt import (
     SimulationError,
     run_kernel,
 )
+from repro.compile_cache import (
+    CACHE_ENV_VAR,
+    DiskCompileCache,
+    cfm_pipeline_id,
+)
 from repro.evaluation import (
     Comparison,
     CompileCache,
@@ -177,6 +182,7 @@ __all__ = [
     "GPU", "Buffer", "run_kernel", "MachineConfig", "Metrics",
     "SimulationError", "DEFAULT_CONFIG",
     # evaluation harness
+    "CACHE_ENV_VAR", "DiskCompileCache", "cfm_pipeline_id",
     "compare", "Comparison", "CompileCache", "compile_baseline",
     "compile_cfm", "execute", "geomean", "run_sweep",
     "table1", "table2", "figure7", "figure8", "figures9_and_10",

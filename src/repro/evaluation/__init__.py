@@ -1,10 +1,12 @@
 """Evaluation harness regenerating every table and figure of the paper."""
 
 from .runner import (
+    CacheHit,
     Comparison,
     CompileCache,
     CompileResult,
     RunResult,
+    cfm_pipeline_id,
     compare,
     compile_baseline,
     compile_cfm,
@@ -56,7 +58,8 @@ from .reporting import (
 )
 
 __all__ = [
-    "Comparison", "CompileCache", "CompileResult", "RunResult", "compare",
+    "CacheHit", "Comparison", "CompileCache", "CompileResult", "RunResult",
+    "cfm_pipeline_id", "compare",
     "compile_baseline", "compile_cfm", "execute", "geomean",
     "ParallelRunner", "SweepError", "SweepTask", "TaskResult",
     "run_task", "run_tasks",

@@ -7,7 +7,10 @@ formatted report.  ``--quick`` shrinks the sweeps for a fast smoke run;
 ``--workers N`` fans the figure sweeps across N worker processes (rows
 are deterministic — identical to the serial run); ``--kernels A,B``
 restricts the sweeps to the named kernels (skipping the whole-suite
-tables), which is what CI's smoke job uses.
+tables), which is what CI's smoke job uses; ``--compile-cache DIR``
+points every worker at one persistent compile cache (see
+``docs/performance.md``), so re-running the evaluation replays
+compilation instead of redoing it.
 
 A machine-readable ``sweep_trace.json`` (per-config pass timings, cache
 stats, full metrics — see ``docs/evaluation.md``) is written alongside
@@ -50,7 +53,8 @@ from .trace import SweepTraceCollector, TRACE_EVENT_POLICIES
 def build_report(quick: bool = False, workers: int = 1,
                  timeout: Optional[float] = None,
                  kernels: Optional[Sequence[str]] = None,
-                 trace: Optional[SweepTraceCollector] = None) -> str:
+                 trace: Optional[SweepTraceCollector] = None,
+                 cache_dir: Optional[str] = None) -> str:
     sections = []
     start = time.perf_counter()
 
@@ -74,7 +78,8 @@ def build_report(quick: bool = False, workers: int = 1,
     if synthetic:
         synthetic_sizes = [16, 32] if quick else None
         rows7, _ = figure7(block_sizes=synthetic_sizes, workers=workers,
-                           timeout=timeout, trace=trace, builders=synthetic)
+                           timeout=timeout, trace=trace, builders=synthetic,
+                           cache_dir=cache_dir)
         sections.append(
             format_speedups(rows7, "Figure 7: synthetic benchmark speedups"))
 
@@ -83,7 +88,8 @@ def build_report(quick: bool = False, workers: int = 1,
         real_sizes = ({k: v[:2] for k, v in REAL_BLOCK_SIZES.items()}
                       if quick else None)
         fig8 = figure8(block_sizes=real_sizes, workers=workers,
-                       timeout=timeout, trace=trace, builders=real)
+                       timeout=timeout, trace=trace, builders=real,
+                       cache_dir=cache_dir)
         fig8_rows = fig8.rows
         sections.append(format_figure8(fig8))
 
@@ -131,7 +137,17 @@ def main(argv=None) -> int:
                              "size of each kernel)")
     parser.add_argument("--json", metavar="FILE",
                         help="also dump raw speedup/counter data as JSON")
+    parser.add_argument("--compile-cache", metavar="DIR", default=None,
+                        help="persistent compile-cache directory shared by "
+                             "all workers and repeat runs (default: the "
+                             "REPRO_COMPILE_CACHE env var; 'off' disables "
+                             "even that)")
     args = parser.parse_args(argv)
+    cache_dir = args.compile_cache
+    if cache_dir is not None and cache_dir.lower() in ("off", "0", "none"):
+        # Explicitly disabled: also mask the env var for worker processes.
+        os.environ["REPRO_COMPILE_CACHE"] = "off"
+        cache_dir = None
 
     kernels = ([k.strip() for k in args.kernels.split(",") if k.strip()]
                if args.kernels else None)
@@ -170,7 +186,8 @@ def main(argv=None) -> int:
         print(f"wrote {args.json}")
 
     report = build_report(quick=args.quick, workers=args.workers,
-                          timeout=args.timeout, kernels=kernels, trace=trace)
+                          timeout=args.timeout, kernels=kernels, trace=trace,
+                          cache_dir=cache_dir)
     if args.out:
         with open(args.out, "w") as handle:
             handle.write(report)

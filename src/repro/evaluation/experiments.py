@@ -71,6 +71,7 @@ def run_sweep(
     timeout: Optional[float] = None,
     trace: Optional[SweepTraceCollector] = None,
     trace_section: str = "sweep",
+    cache_dir: Optional[str] = None,
 ) -> List[SpeedupRow]:
     """Run every (kernel, block size) comparison through the sweep engine.
 
@@ -78,6 +79,11 @@ def run_sweep(
     ``repro.evaluation.parallel``); results are ordered identically to
     the serial run.  A failed task — after its retry — raises
     :class:`SweepError` rather than silently dropping a figure row.
+
+    ``cache_dir`` points every task at one persistent compile cache
+    (cross-process; see ``repro.compile_cache``), so repeated sweeps
+    replay compilation instead of re-running it.  ``None`` defers to the
+    ``REPRO_COMPILE_CACHE`` environment variable.
 
     When a ``trace`` collector is attached, its ``policy`` selects which
     tasks additionally capture Chrome trace events ("first" = the first
@@ -87,7 +93,7 @@ def run_sweep(
     policy = trace.policy if trace is not None else "off"
     tasks = [SweepTask(kernel=name, builder=builder, block_size=block_size,
                        grid_dim=grid_dim, seed=seed, config=config,
-                       machine=machine,
+                       machine=machine, cache_dir=cache_dir,
                        trace=(policy == "all"
                               or (policy == "first" and position == 0)))
              for name, builder in builders.items()
@@ -124,13 +130,15 @@ def figure7(seed: int = DEFAULT_SEED,
             trace: Optional[SweepTraceCollector] = None,
             builders: Optional[Dict[str, Callable[..., KernelCase]]] = None,
             machine: Optional[MachineConfig] = None,
+            cache_dir: Optional[str] = None,
             ) -> Tuple[List[SpeedupRow], float]:
     """Synthetic benchmark speedups and their geomean (paper: 1.32×)."""
     sizes = block_sizes or SYNTHETIC_BLOCK_SIZES
     selected = builders if builders is not None else SYNTHETIC_BUILDERS
     rows = run_sweep(selected, {n: sizes for n in selected},
                      seed=seed, machine=machine, workers=workers,
-                     timeout=timeout, trace=trace, trace_section="figure7")
+                     timeout=timeout, trace=trace, trace_section="figure7",
+                     cache_dir=cache_dir)
     return rows, geomean([r.speedup for r in rows])
 
 
@@ -153,6 +161,7 @@ def figure8(seed: int = DEFAULT_SEED,
             trace: Optional[SweepTraceCollector] = None,
             builders: Optional[Dict[str, Callable[..., KernelCase]]] = None,
             machine: Optional[MachineConfig] = None,
+            cache_dir: Optional[str] = None,
             ) -> Figure8Result:
     """Real-benchmark speedups, geomean, and the paper's '+'-marked
     best-baseline-block-size analysis (paper: GM 1.15×, GM-best higher)."""
@@ -160,7 +169,8 @@ def figure8(seed: int = DEFAULT_SEED,
     selected = builders if builders is not None else REAL_WORLD_BUILDERS
     rows = run_sweep(selected, {n: sizes[n] for n in selected}, seed=seed,
                      machine=machine, workers=workers, timeout=timeout,
-                     trace=trace, trace_section="figure8")
+                     trace=trace, trace_section="figure8",
+                     cache_dir=cache_dir)
 
     best_block: Dict[str, int] = {}
     for kernel in {r.kernel for r in rows}:

@@ -13,7 +13,11 @@ independent — :func:`repro.evaluation.runner.compare` builds fresh
   and retried once (fresh process) before being reported as a failure,
   so one bad configuration cannot hang a whole figure;
 * **compile caching** — every task uses a :class:`CompileCache`, so the
-  ``-O3`` stage runs once per comparison instead of once per arm.
+  ``-O3`` stage runs once per comparison instead of once per arm; with
+  :attr:`SweepTask.cache_dir` (or ``REPRO_COMPILE_CACHE`` in the
+  environment) the cache is disk-backed and **shared across worker
+  processes and sweep repeats** — a warm sweep replays whole pipelines
+  instead of compiling.
 
 ``workers <= 1`` runs tasks serially in-process (the reference path the
 determinism tests compare against); ``workers > 1`` uses one process per
@@ -58,6 +62,10 @@ class SweepTask:
     #: capture a repro.obs trace of this task (pass spans, melding
     #: decisions, warp divergence events) into TaskResult.trace_events
     trace: bool = False
+    #: directory of the persistent cross-process compile cache; None
+    #: falls back to the REPRO_COMPILE_CACHE environment variable
+    #: (unset/"off" → per-task in-process cache only)
+    cache_dir: Optional[str] = None
 
 
 @dataclass
@@ -73,6 +81,9 @@ class TaskResult:
     seconds: float = 0.0
     compile_cache_hits: int = 0
     compile_cache_misses: int = 0
+    #: disk-layer counters ({"hits", "misses", "evictions", "writes"})
+    #: when the task ran against a persistent cache, else None
+    compile_cache_disk: Optional[Dict[str, int]] = None
     #: Chrome trace events captured when SweepTask.trace was set
     trace_events: Optional[List[Dict[str, object]]] = None
 
@@ -99,7 +110,10 @@ def run_task(task: SweepTask, index: int = 0, attempts: int = 1) -> TaskResult:
     :class:`~repro.obs.Tracer` (installed for this task only) and the
     captured events ride back on :attr:`TaskResult.trace_events`.
     """
-    cache = CompileCache()
+    if task.cache_dir is not None:
+        cache = CompileCache(disk=task.cache_dir)
+    else:
+        cache = CompileCache.from_env()
     start = time.perf_counter()
     events: Optional[List[Dict[str, object]]] = None
     if task.trace:
@@ -119,6 +133,8 @@ def run_task(task: SweepTask, index: int = 0, attempts: int = 1) -> TaskResult:
         comparison=comparison, attempts=attempts,
         seconds=time.perf_counter() - start,
         compile_cache_hits=cache.hits, compile_cache_misses=cache.misses,
+        compile_cache_disk=(cache.disk.counters()
+                            if cache.disk is not None else None),
         trace_events=events)
 
 

@@ -7,11 +7,15 @@ cleanups, exactly as §V-A describes the modified HIPCC pipeline (and as
 §IV-G observes, the late if-conversion re-predicates what unpredication
 split, so both configurations see the same late passes).
 
-Both compile entry points accept an optional :class:`CompileCache`.  The
-cache is keyed on the *content* of the pre-``-O3`` IR (its printed form),
-so the two arms of one comparison — which start from identical builder
-output — share a single ``-O3`` run: the baseline arm populates the
-cache and the CFM arm replays the optimized module from it.
+Both compile entry points accept an optional
+:class:`~repro.compile_cache.CompileCache` (re-exported here).  Keys are
+content digests of the pre-pipeline IR's printed form, so the two arms
+of one comparison — which start from identical builder output — share a
+single ``-O3`` run, and ``compile_cfm`` additionally caches the **full**
+``-O3 + CFM + late cleanups`` result under :func:`cfm_pipeline_id` — the
+stage that actually dominates compile time (see ``docs/performance.md``).
+With a disk-backed cache the whole compile replays across processes and
+sweep repeats.
 """
 
 from __future__ import annotations
@@ -21,12 +25,13 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.compile_cache import CacheHit, CompileCache, cfm_pipeline_id
 from repro.core import CFMConfig, CFMStats, run_cfm
 from repro.ir import print_module, verify_function
-from repro.ir.parser import parse_module
 from repro.kernels.common import KernelCase
 from repro.obs import current_tracer, emit_pass_timing
-from repro.simt import MachineConfig, Metrics, run_kernel
+from repro.simt import DEFAULT_CONFIG, MachineConfig, Metrics, run_kernel
+from repro.simt import lower_symbolic
 from repro.transforms import (
     PassPipeline,
     PassTiming,
@@ -34,61 +39,11 @@ from repro.transforms import (
     optimize,
 )
 
-
-@dataclass
-class _CacheEntry:
-    optimized_ir: str  # print_module() of the post-pipeline module
-    seconds: float
-    timings: List[PassTiming]
-
-
-class CompileCache:
-    """Content-keyed cache of ``-O3`` results.
-
-    Key: ``(pipeline_id, print_module(pre-O3 module))``.  Value: the
-    *printed* optimized module (plus the wall-clock seconds and per-pass
-    timings of the run that produced it).  Consumers re-parse the text,
-    so every hit yields an independent module — entries are never
-    aliased into live kernel cases, and storage stays flat text rather
-    than deep object graphs.  Printing and parsing round-trip exactly
-    (``tests/ir/test_function_module.py``), so a replayed module is
-    indistinguishable from a freshly optimized one.
-    """
-
-    def __init__(self) -> None:
-        self._entries: Dict[Tuple[str, str], _CacheEntry] = {}
-        self.hits = 0
-        self.misses = 0
-
-    def __len__(self) -> int:
-        return len(self._entries)
-
-    @staticmethod
-    def key_for(case: KernelCase, pipeline_id: str = "o3") -> Tuple[str, str]:
-        return (pipeline_id, print_module(case.module))
-
-    def lookup(self, key: Tuple[str, str]) -> Optional[Tuple[object, float, List[PassTiming]]]:
-        """Return ``(module, seconds, timings)`` for a hit, else None."""
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            return None
-        try:
-            module = parse_module(entry.optimized_ir)
-        except Exception:
-            # Unparseable entry (e.g. an IR construct the printer can
-            # express but the parser cannot): treat as a miss and let
-            # the caller recompile — identical semantics, just slower.
-            self.misses += 1
-            return None
-        self.hits += 1
-        return module, entry.seconds, list(entry.timings)
-
-    def store(self, key: Tuple[str, str], module: object, seconds: float,
-              timings: List[PassTiming]) -> None:
-        self._entries[key] = _CacheEntry(optimized_ir=print_module(module),
-                                         seconds=seconds,
-                                         timings=list(timings))
+__all__ = [
+    "CompileCache", "CacheHit", "cfm_pipeline_id",
+    "CompileResult", "RunResult", "Comparison",
+    "compile_baseline", "compile_cfm", "compare", "execute", "geomean",
+]
 
 
 @dataclass
@@ -100,6 +55,8 @@ class CompileResult:
     cfm_stats: Optional[CFMStats] = None
     #: the O3 stage was replayed from a :class:`CompileCache`
     o3_cached: bool = False
+    #: the whole O3+CFM+late pipeline was replayed in one lookup
+    cfm_cached: bool = False
     #: per-pass executions, in order (O3 fixpoint, then CFM + late cleanups)
     pass_timings: List[PassTiming] = field(default_factory=list)
 
@@ -109,36 +66,64 @@ class CompileResult:
 
 
 def _run_o3(case: KernelCase, cache: Optional[CompileCache],
-            collect_ir_stats: bool) -> Tuple[float, bool, List[PassTiming]]:
+            collect_ir_stats: bool, latency=None,
+            printed: Optional[str] = None
+            ) -> Tuple[float, bool, List[PassTiming]]:
     """Run (or replay) the ``-O3`` pipeline on ``case``'s module in place.
 
     Returns ``(seconds, cached, pass_timings)``.  On a cache hit the
-    case's module is swapped for a deep copy of the cached optimized
-    module and the *original* run's seconds/timings are reported, so
-    aggregate compile-time numbers stay meaningful.
+    case's module is swapped for an independently parsed copy of the
+    cached optimized module and the *original* run's seconds/timings are
+    reported, so aggregate compile-time numbers stay meaningful.
+    ``printed`` lets callers that already printed the pre-O3 module
+    (``compile_cfm``'s full-pipeline probe) share that one print.
     """
+    key = None
     if cache is not None:
-        key = CompileCache.key_for(case)
-        hit = cache.lookup(key)
+        if printed is None:
+            printed = print_module(case.module)
+        key = CompileCache.key("o3", printed)
+        hit = cache.lookup(key, want_ir_stats=collect_ir_stats,
+                           latency=latency)
         if hit is not None:
-            module, seconds, timings = hit
-            case.module = module
-            return seconds, True, timings
+            case.module = hit.module
+            return hit.seconds, True, hit.timings
     start = time.perf_counter()
     pipeline = optimize(case.function, collect_ir_stats=collect_ir_stats)
     seconds = time.perf_counter() - start
     timings = list(pipeline.timings)
     if cache is not None:
-        cache.store(key, case.module, seconds, timings)
+        program = (lower_symbolic(case.function, latency)
+                   if latency is not None else None)
+        cache.store(key, case.module, seconds, timings,
+                    ir_stats=collect_ir_stats, program=program,
+                    latency=latency)
     return seconds, False, timings
+
+
+def _hit_result(hit: CacheHit) -> CompileResult:
+    return CompileResult(
+        o3_seconds=hit.seconds, cfm_seconds=hit.cfm_seconds,
+        cfm_stats=hit.cfm_stats, o3_cached=True,
+        cfm_cached=hit.cfm_stats is not None, pass_timings=hit.timings)
 
 
 def compile_baseline(case: KernelCase, verify: bool = True,
                      cache: Optional[CompileCache] = None,
-                     collect_ir_stats: bool = False) -> CompileResult:
-    """``-O3`` pipeline only."""
-    seconds, cached, timings = _run_o3(case, cache, collect_ir_stats)
-    if verify:
+                     collect_ir_stats: bool = False,
+                     latency=None) -> CompileResult:
+    """``-O3`` pipeline only.
+
+    ``latency`` (a :class:`~repro.analysis.latency.LatencyModel`) makes
+    cache entries carry the lowered µop program for that machine model,
+    so a warm process also skips launch-time lowering.
+    """
+    seconds, cached, timings = _run_o3(case, cache, collect_ir_stats,
+                                       latency=latency)
+    if verify and not cached:
+        # Cached entries were verified by the run that produced them and
+        # print/parse round-trips exactly; the hot path skips the re-check
+        # (difftest/CI verify per pass instead — see docs/difftest.md).
         verify_function(case.function)
     return CompileResult(o3_seconds=seconds, o3_cached=cached,
                          pass_timings=timings)
@@ -147,9 +132,29 @@ def compile_baseline(case: KernelCase, verify: bool = True,
 def compile_cfm(case: KernelCase, config: Optional[CFMConfig] = None,
                 verify: bool = True,
                 cache: Optional[CompileCache] = None,
-                collect_ir_stats: bool = False) -> CompileResult:
-    """``-O3`` + CFM + late cleanups (§V-A pipeline)."""
-    o3_seconds, cached, timings = _run_o3(case, cache, collect_ir_stats)
+                collect_ir_stats: bool = False,
+                latency=None) -> CompileResult:
+    """``-O3`` + CFM + late cleanups (§V-A pipeline).
+
+    With a cache, the **whole** pipeline result is keyed under
+    :func:`cfm_pipeline_id` — profiling shows the CFM stage, not
+    ``-O3``, dominates compile time, so a warm process replays melded IR
+    (plus its :class:`CFMStats` and lowered program) without running any
+    pass.  A full-key miss still falls through to the shared ``"o3"``
+    entry before running the pipelines.
+    """
+    full_key = None
+    printed = None
+    if cache is not None:
+        printed = print_module(case.module)
+        full_key = CompileCache.key(cfm_pipeline_id(config), printed)
+        hit = cache.lookup(full_key, want_ir_stats=collect_ir_stats,
+                           latency=latency)
+        if hit is not None:
+            case.module = hit.module
+            return _hit_result(hit)
+    o3_seconds, cached, timings = _run_o3(case, cache, collect_ir_stats,
+                                          printed=printed)
     timings = list(timings)
 
     start = time.perf_counter()
@@ -174,6 +179,13 @@ def compile_cfm(case: KernelCase, config: Optional[CFMConfig] = None,
     cfm_seconds = time.perf_counter() - start
     if verify:
         verify_function(case.function)
+    if cache is not None:
+        program = (lower_symbolic(case.function, latency)
+                   if latency is not None else None)
+        cache.store(full_key, case.module, o3_seconds, timings,
+                    ir_stats=collect_ir_stats, program=program,
+                    latency=latency, cfm_seconds=cfm_seconds,
+                    cfm_stats=stats)
     return CompileResult(o3_seconds=o3_seconds, cfm_seconds=cfm_seconds,
                          cfm_stats=stats, o3_cached=cached,
                          pass_timings=timings)
@@ -238,17 +250,22 @@ def compare(
     """Build, compile and run one kernel both ways; outputs are verified
     against the kernel's reference — a CFM miscompile fails loudly.
 
-    With a ``cache``, the ``-O3`` stage runs once: the baseline arm
-    populates it and the CFM arm replays the optimized module.
+    With a ``cache``, a cold comparison runs ``-O3`` once (the baseline
+    arm populates it, the CFM arm replays it before melding) and a warm
+    one — same process or, with a disk-backed cache, any later process —
+    replays both arms outright, lowered µop programs included.
     """
     base_case = builder(block_size=block_size, grid_dim=grid_dim)
     cfm_case = builder(block_size=block_size, grid_dim=grid_dim)
     label = name or base_case.name
+    latency = (machine or DEFAULT_CONFIG).latency
 
     base_compile = compile_baseline(base_case, cache=cache,
-                                    collect_ir_stats=collect_ir_stats)
+                                    collect_ir_stats=collect_ir_stats,
+                                    latency=latency)
     cfm_compile = compile_cfm(cfm_case, config, cache=cache,
-                              collect_ir_stats=collect_ir_stats)
+                              collect_ir_stats=collect_ir_stats,
+                              latency=latency)
 
     base_run = execute(base_case, seed=seed, machine=machine,
                        trace_label=f"o3:{label}-{block_size}")

@@ -73,6 +73,8 @@ def task_entry(result: TaskResult) -> Dict[str, object]:
         "compile_cache": {"hits": result.compile_cache_hits,
                           "misses": result.compile_cache_misses},
     }
+    if result.compile_cache_disk is not None:
+        entry["compile_cache"]["disk"] = dict(result.compile_cache_disk)
     if not result.ok:
         entry["error"] = result.error
         return entry
@@ -92,6 +94,7 @@ def task_entry(result: TaskResult) -> Dict[str, object]:
             "cfm": {
                 "o3_seconds": comparison.cfm_compile.o3_seconds,
                 "o3_cached": comparison.cfm_compile.o3_cached,
+                "cfm_cached": comparison.cfm_compile.cfm_cached,
                 "cfm_seconds": comparison.cfm_compile.cfm_seconds,
                 "passes": pass_trace_events(
                     comparison.cfm_compile.pass_timings),

@@ -40,6 +40,12 @@ class BlockPairScore:
                 "false_block": self.false_block,
                 "fp_b": round(self.fp_b, 6)}
 
+    @classmethod
+    def from_dict(cls, record: Dict[str, object]) -> "BlockPairScore":
+        return cls(true_block=record["true_block"],
+                   false_block=record["false_block"],
+                   fp_b=record["fp_b"])
+
 
 @dataclass
 class MeldingDecision:
@@ -114,6 +120,41 @@ class MeldingDecision:
         if self.guard_blocks:
             record["guard_blocks"] = list(self.guard_blocks)
         return record
+
+    @classmethod
+    def from_dict(cls, record: Dict[str, object]) -> "MeldingDecision":
+        """Inverse of :meth:`as_dict` (modulo its 6-digit float rounding).
+
+        The persistent compile cache stores decision logs in this form,
+        so a warm replay re-emits the same trace instants a cold compile
+        would (``as_dict(from_dict(d)) == d`` holds exactly).
+        """
+        decision = cls(
+            iteration=record["iteration"],
+            region_entry=record["region_entry"],
+            action=record["action"],
+            reason=record["reason"],
+            threshold=record["threshold"],
+            fp_s=record.get("fp_s"),
+        )
+        if "true_entry" in record:
+            decision.true_entry = record["true_entry"]
+            decision.false_entry = record.get("false_entry")
+            decision.partial = bool(record.get("partial", False))
+            decision.alignment = [tuple(pair)
+                                  for pair in record.get("alignment", [])]
+            decision.block_scores = [BlockPairScore.from_dict(s)
+                                     for s in record.get("block_scores", [])]
+            decision.fp_i_saved_cycles = record.get("fp_i_saved_cycles")
+        if decision.accepted:
+            decision.selects_inserted = record.get("selects_inserted", 0)
+            decision.instructions_melded = record.get("instructions_melded", 0)
+            decision.instructions_unaligned = \
+                record.get("instructions_unaligned", 0)
+            decision.unpredicated = bool(record.get("unpredicated", False))
+        decision.branch_divergent = record.get("branch_divergent")
+        decision.guard_blocks = list(record.get("guard_blocks", []))
+        return decision
 
 
 def emit_decisions(decisions: List[MeldingDecision], tracer,

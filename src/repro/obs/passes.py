@@ -36,6 +36,10 @@ def pass_timing_event(timing) -> Dict[str, object]:
             instructions_before=timing.instructions_before,
             instructions_after=timing.instructions_after,
         )
+    if getattr(timing, "cached", False):
+        # Replayed from a compile cache: ``seconds`` is the original
+        # run's cost, not a live measurement of this process.
+        event["cached"] = True
     return event
 
 

@@ -14,10 +14,16 @@ selected via ``MachineConfig.executor`` or ``GPU(executor=...)``.
 from .config import DEFAULT_CONFIG, EXECUTORS, MachineConfig
 from .fastpath import FastWarp
 from .lowering import (
+    PROGRAM_SCHEMA,
     LoweredProgram,
+    ProgramDecodeError,
     get_program,
     invalidate_lowering,
+    latency_token_key,
     lower_function,
+    lower_symbolic,
+    materialize_program,
+    seed_program,
 )
 from .machine import GPU, Buffer, run_kernel
 from .memory import DeviceMemory, MemoryError_, sizeof
@@ -30,6 +36,8 @@ __all__ = [
     "DeviceMemory", "MemoryError_", "sizeof",
     "Metrics",
     "SimulationError", "UNDEF", "Warp",
-    "FastWarp", "LoweredProgram",
+    "FastWarp", "LoweredProgram", "PROGRAM_SCHEMA", "ProgramDecodeError",
     "get_program", "invalidate_lowering", "lower_function",
+    "latency_token_key", "lower_symbolic", "materialize_program",
+    "seed_program",
 ]

@@ -123,6 +123,9 @@ class PassTiming:
     blocks_after: Optional[int] = None
     instructions_before: Optional[int] = None
     instructions_after: Optional[int] = None
+    #: this timing was replayed from a compile cache, not measured live
+    #: (``seconds`` reports the original run; trace spans carry the flag)
+    cached: bool = False
 
     def as_dict(self) -> Dict[str, object]:
         """JSON-serializable event (one line of the pass trace).

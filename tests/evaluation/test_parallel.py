@@ -49,10 +49,32 @@ class TestCompileCache:
         cache = CompileCache()
         comparison = compare(build_sb1, block_size=16, grid_dim=1,
                              seed=SEED, cache=cache)
-        assert cache.misses == 1
+        # Cold: baseline misses "o3" and populates it; the CFM arm
+        # misses its full-pipeline key, then replays the shared O3 run.
+        assert cache.misses == 2
         assert cache.hits == 1
         assert not comparison.baseline_compile.o3_cached
         assert comparison.cfm_compile.o3_cached
+        assert not comparison.cfm_compile.cfm_cached
+
+    def test_warm_comparison_replays_both_arms(self):
+        cache = CompileCache()
+        cold = compare(build_sb1, block_size=16, grid_dim=1,
+                       seed=SEED, cache=cache)
+        warm = compare(build_sb1, block_size=16, grid_dim=1,
+                       seed=SEED, cache=cache)
+        # Warm: both arms replay outright — the CFM arm from the
+        # full-pipeline entry, no pass runs at all.
+        assert cache.hits == 3 and cache.misses == 2
+        assert warm.baseline_compile.o3_cached
+        assert warm.cfm_compile.cfm_cached
+        assert warm.baseline.cycles == cold.baseline.cycles
+        assert warm.melded.cycles == cold.melded.cycles
+        assert warm.melds == cold.melds
+        # Replayed stats/timings report the original run's numbers.
+        assert warm.cfm_compile.o3_seconds == cold.cfm_compile.o3_seconds
+        assert warm.cfm_compile.cfm_seconds == cold.cfm_compile.cfm_seconds
+        assert all(t.cached for t in warm.cfm_compile.pass_timings)
 
     def test_cached_compile_is_observably_identical(self):
         plain = compare(build_sb1, block_size=16, grid_dim=1, seed=SEED)
@@ -155,7 +177,7 @@ class TestSweepTrace:
         assert entry["kernel"] == "SB1" and entry["block_size"] == 16
         assert entry["ok"] and entry["attempts"] == 1
         assert entry["speedup"] > 0 and entry["melds"] > 0
-        assert entry["compile_cache"] == {"hits": 1, "misses": 1}
+        assert entry["compile_cache"] == {"hits": 1, "misses": 2}
         # Per-pass events carry timing + IR size stats for both arms.
         for arm in ("baseline", "cfm"):
             passes = entry["compile"][arm]["passes"]
