@@ -26,11 +26,15 @@ from __future__ import annotations
 import time
 from typing import Dict, List, Optional, Sequence
 
-from repro import run_kernel
+from repro import MachineConfig, run_kernel
 
 from .workloads import MICRO_BUILDERS, MicroWorkload
 
 EXECUTORS = ("reference", "fast")
+
+#: one machine description per executor under test
+MACHINES = {executor: MachineConfig(executor=executor)
+            for executor in EXECUTORS}
 
 SCHEMA = "repro.bench/1"
 
@@ -51,7 +55,7 @@ def _run_micro(workload: MicroWorkload, executor: str):
     outputs, metrics = run_kernel(
         workload.module, workload.kernel, workload.grid_dim,
         workload.block_dim, buffers=workload.make_buffers(),
-        executor=executor)
+        machine=MACHINES[executor])
     return outputs, metrics
 
 
@@ -151,9 +155,9 @@ def bench_figure8(block_sizes: Optional[Dict[str, List[int]]] = None,
         def simulate(collect: Optional[List] = None) -> None:
             for label, base, cfm in cases:
                 base_run = execute(base, seed=DEFAULT_SEED, check=False,
-                                   executor=executor)
+                                   machine=MACHINES[executor])
                 cfm_run = execute(cfm, seed=DEFAULT_SEED, check=False,
-                                  executor=executor)
+                                  machine=MACHINES[executor])
                 if collect is not None:
                     collect.append((label,
                                     base_run.outputs, cfm_run.outputs,
@@ -211,7 +215,7 @@ def bench_difftest(seeds: Sequence[int] = range(4)) -> Dict:
     for executor in EXECUTORS:
         start = time.perf_counter()
         for spec in specs:
-            run_oracle(spec, executor=executor)
+            run_oracle(spec, machine=MACHINES[executor])
         seconds = time.perf_counter() - start
         executors[executor] = {
             "seconds": seconds,

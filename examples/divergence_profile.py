@@ -17,12 +17,12 @@ from repro import (
 
 
 def profile(case, label):
-    config = MachineConfig(profile_branches=True)
+    machine = MachineConfig(profile_branches=True)
     inputs = case.make_buffers(99)
     _, metrics = run_kernel(case.module, case.kernel, case.grid_dim,
                             case.block_dim,
                             buffers={k: list(v) for k, v in inputs.items()},
-                            scalars=case.scalars, config=config)
+                            scalars=case.scalars, machine=machine)
     print(f"\n{label}: {metrics.cycles} cycles, "
           f"{metrics.divergent_branches}/{metrics.branches} branch issues divergent")
     rows = sorted(metrics.branch_profile.items(),

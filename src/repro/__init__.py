@@ -19,7 +19,8 @@ Internal layout:
 * :mod:`repro.analysis` — dominators, regions, loops, divergence analysis;
 * :mod:`repro.transforms` — standard passes (SimplifyCFG, DCE, unrolling);
 * :mod:`repro.core` — the paper's contribution: the CFM melding pass;
-* :mod:`repro.simt` — warp-level SIMT simulator with IPDOM reconvergence;
+* :mod:`repro.simt` — warp-level SIMT simulator with pluggable
+  reconvergence policies (IPDOM stack, stack-less min-PC);
 * :mod:`repro.baselines` — tail merging and branch fusion comparators;
 * :mod:`repro.kernels` — the paper's benchmark kernels in a builder DSL;
 * :mod:`repro.evaluation` — harness regenerating every table and figure;
@@ -96,10 +97,13 @@ from repro.kernels import (
 )
 from repro.simt import (
     DEFAULT_CONFIG,
+    EXECUTORS,
     GPU,
+    RECONVERGENCE_POLICIES,
     Buffer,
     MachineConfig,
     Metrics,
+    ReconvergencePolicy,
     SimulationError,
     run_kernel,
 )
@@ -180,7 +184,8 @@ __all__ = [
     "EXTRA_BUILDERS",
     # simulator
     "GPU", "Buffer", "run_kernel", "MachineConfig", "Metrics",
-    "SimulationError", "DEFAULT_CONFIG",
+    "SimulationError", "DEFAULT_CONFIG", "EXECUTORS",
+    "ReconvergencePolicy", "RECONVERGENCE_POLICIES",
     # evaluation harness
     "CACHE_ENV_VAR", "DiskCompileCache", "cfm_pipeline_id",
     "compare", "Comparison", "CompileCache", "compile_baseline",

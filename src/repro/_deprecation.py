@@ -1,0 +1,42 @@
+"""Once-per-call-site deprecation warnings for legacy API spellings.
+
+The PR-7 machine-configuration redesign keeps the old scattered kwargs
+(``executor=`` / ``config=`` / ``latency=``) alive as thin aliases for
+one release.  A long sweep or fuzz loop may pass a deprecated kwarg
+millions of times from the same line; warning on every call would bury
+the signal, and relying on :mod:`warnings`' built-in ``"default"``
+filter is fragile under pytest (which rewrites the filter stack per
+test).  So this module keeps its own registry keyed on the *call site*
+(caller's filename + line): the first use from a given line warns, every
+later use from that line is silent, and unrelated call sites still get
+their own warning.
+"""
+
+from __future__ import annotations
+
+import sys
+import warnings
+from typing import Set, Tuple
+
+_seen: Set[Tuple[str, str, int]] = set()
+
+
+def warn_once(message: str, stacklevel: int = 3) -> None:
+    """Emit ``DeprecationWarning`` once per (message, call site).
+
+    ``stacklevel`` counts like :func:`warnings.warn` from the caller of
+    this function: ``3`` attributes the warning to whoever called the
+    deprecated public entry point directly; add one per intermediate
+    helper frame.
+    """
+    frame = sys._getframe(stacklevel - 1)
+    key = (message, frame.f_code.co_filename, frame.f_lineno)
+    if key in _seen:
+        return
+    _seen.add(key)
+    warnings.warn(message, DeprecationWarning, stacklevel=stacklevel)
+
+
+def reset_warn_registry() -> None:
+    """Forget every recorded call site (test isolation helper)."""
+    _seen.clear()

@@ -17,6 +17,7 @@ shared-memory instructions pays off the most depends on this ordering.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Dict
 
@@ -92,3 +93,21 @@ class LatencyModel:
 
 
 DEFAULT_LATENCY_MODEL = LatencyModel()
+
+
+def latency_token(model: LatencyModel) -> tuple:
+    """Hashable identity of a latency model's observable contents.
+
+    Feeds :meth:`repro.simt.MachineConfig.token` (and through it every
+    warp-level program cache and the persistent compile cache), so two
+    models with equal tables share cache entries regardless of object
+    identity.
+    """
+    return (tuple(sorted(model.opcode_latency.items())),
+            tuple(sorted(model.memory_latency.items())),
+            model.barrier_latency)
+
+
+def latency_token_key(model: LatencyModel) -> str:
+    """Stable text form of :func:`latency_token`, for digest-keyed caches."""
+    return json.dumps(latency_token(model), separators=(",", ":"))

@@ -43,10 +43,11 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, replace
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
 
+from repro._deprecation import warn_once
 from repro.core import CFMConfig, CFMStats, MeldRecord
 from repro.ir import print_module
 from repro.ir.parser import parse_module
@@ -55,8 +56,10 @@ from repro.obs.decisions import MeldingDecision
 from repro.obs.passes import pass_timing_events
 from repro.obs.tracer import COMPILE_PID
 from repro.simt import (
+    DEFAULT_CONFIG,
     ProgramDecodeError,
     latency_token_key,
+    machine_token_key,
     materialize_program,
     seed_program,
 )
@@ -69,6 +72,20 @@ CACHE_SCHEMA = "repro.compile-cache/1"
 CACHE_ENV_VAR = "REPRO_COMPILE_CACHE"
 
 CacheKey = Tuple[str, str]
+
+
+def _machine_from_latency(machine, latency, where: str):
+    """Fold the deprecated ``latency=`` kwarg into a machine config."""
+    if latency is None:
+        return machine
+    if machine is not None:
+        raise ValueError(
+            f"{where}: latency= duplicates MachineConfig.latency and the "
+            f"machine= config wins; spell it "
+            f"machine=MachineConfig(latency=...)")
+    warn_once(f"{where}(latency=...) is deprecated; pass "
+              f"machine=MachineConfig(latency=...)", stacklevel=4)
+    return replace(DEFAULT_CONFIG, latency=latency)
 
 
 def digest_text(*parts: str) -> str:
@@ -295,16 +312,18 @@ class CompileCache:
     # ---- lookup / store ----------------------------------------------------
 
     def lookup(self, key: CacheKey, want_ir_stats: bool = False,
-               latency=None) -> Optional[CacheHit]:
+               machine=None, *, latency=None) -> Optional[CacheHit]:
         """Return a :class:`CacheHit`, or None (counted as a miss).
 
         ``want_ir_stats=True`` rejects entries whose timings lack IR
         size stats (stored by a run that didn't collect them) — the
         entry stays valid for callers that don't need stats.  With a
-        ``latency`` model, a stored program for that model is
-        materialized and seeded into the launch memo so the first launch
-        skips lowering.
+        ``machine`` (a :class:`~repro.simt.MachineConfig`), a stored
+        program matching its program token is materialized and seeded
+        into the launch memo so the first launch skips lowering.
+        ``latency=`` is the deprecated pre-PR-7 spelling.
         """
+        machine = _machine_from_latency(machine, latency, "CompileCache.lookup")
         source = "memory"
         payload = self._entries.get(key)
         if payload is None and self.disk is not None:
@@ -328,7 +347,7 @@ class CompileCache:
             # then report a plain miss.
             self._evict(key)
             return self._miss(key)
-        program = self._seed(payload, module, latency)
+        program = self._seed(payload, module, machine)
         self._entries[key] = payload  # promote disk hits to memory
         self.hits += 1
         tracer = current_tracer()
@@ -354,6 +373,7 @@ class CompileCache:
               timings: List[PassTiming], *,
               ir_stats: bool = False,
               program: Optional[Dict[str, object]] = None,
+              machine=None,
               latency=None,
               cfm_seconds: float = 0.0,
               cfm_stats: Optional[CFMStats] = None) -> None:
@@ -361,17 +381,20 @@ class CompileCache:
 
         ``program`` is a symbolic lowered program
         (:func:`repro.simt.lower_symbolic` of the optimized function)
-        keyed by ``latency``; ``cfm_stats`` marks a full-pipeline entry.
+        keyed by the ``machine``'s program token; ``latency=`` is the
+        deprecated pre-PR-7 spelling.  ``cfm_stats`` marks a
+        full-pipeline entry.
         """
+        machine = _machine_from_latency(machine, latency, "CompileCache.store")
         payload: Dict[str, object] = {
             "optimized_ir": print_module(module),
             "seconds": seconds,
             "timings": pass_timing_events(timings),
             "ir_stats": bool(ir_stats),
         }
-        if program is not None and latency is not None:
+        if program is not None and machine is not None:
             payload["program"] = program
-            payload["latency_key"] = latency_token_key(latency)
+            payload["machine_key"] = machine_token_key(machine)
         if cfm_stats is not None:
             payload["cfm"] = {"seconds": cfm_seconds,
                               "stats": cfm_stats_to_data(cfm_stats)}
@@ -382,20 +405,23 @@ class CompileCache:
     # ---- internals ---------------------------------------------------------
 
     def _seed(self, payload: Dict[str, object], module,
-              latency) -> Optional[object]:
+              machine) -> Optional[object]:
         """Materialize + memo-seed the entry's program, if usable."""
         data = payload.get("program")
-        if data is None or latency is None:
+        if data is None or machine is None:
             return None
-        if payload.get("latency_key") != latency_token_key(latency):
-            return None  # program was lowered for a different machine
+        if payload.get("machine_key") != machine_token_key(machine):
+            # Program was lowered for a different machine (or the entry
+            # predates machine-keyed programs): the IR replay is still
+            # good, the launch just re-lowers.
+            return None
         try:
             function = module.functions[data["function"]]
             program = materialize_program(data, function)
         except (ProgramDecodeError, KeyError, TypeError):
             # The IR replay is still good; the launch just re-lowers.
             return None
-        seed_program(function, latency, program)
+        seed_program(function, machine, program)
         return program
 
     def _miss(self, key: CacheKey) -> None:

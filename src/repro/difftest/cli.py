@@ -24,6 +24,7 @@ from pathlib import Path
 from typing import List, Optional, Sequence
 
 from repro.obs import Tracer, use as use_tracer
+from repro.simt import RECONVERGENCE_POLICIES, MachineConfig
 
 from .bugs import BUGS, inject
 from .corpus import write_entry
@@ -59,6 +60,11 @@ def _parse_args(argv: Optional[Sequence[str]]) -> argparse.Namespace:
                         help="record failures without minimizing them")
     parser.add_argument("--inject-bug", choices=sorted(BUGS), default=None,
                         help="sabotage a transform for mutation testing")
+    parser.add_argument("--reconvergence", choices=RECONVERGENCE_POLICIES,
+                        default="ipdom",
+                        help="warp reconvergence policy the oracle arms run "
+                             "under (default: ipdom); device memory must "
+                             "agree bit-for-bit whichever policy is chosen")
     parser.add_argument("--trace", type=Path, default=None, metavar="FILE",
                         help="run the whole campaign under a repro.obs "
                              "tracer and write Chrome trace JSON here "
@@ -107,6 +113,7 @@ def _campaign_body(args: argparse.Namespace, arms: Sequence[str],
     failing: List[Verdict] = []
     total_melds = 0
     verified_passes = 0
+    machine = MachineConfig(reconvergence=args.reconvergence)
     start = time.perf_counter()
 
     seed = args.base_seed
@@ -117,7 +124,8 @@ def _campaign_body(args: argparse.Namespace, arms: Sequence[str],
             break
         spec = generate_spec(seed, block_dim=args.block_size,
                              grid_dim=args.grid)
-        verdict = run_oracle(spec, arms=arms, input_seeds=input_seeds)
+        verdict = run_oracle(spec, arms=arms, input_seeds=input_seeds,
+                             machine=machine)
         tested += 1
         total_melds += sum(r.melds for r in verdict.arms.values())
         verified_passes += sum(r.verified_passes
@@ -125,7 +133,7 @@ def _campaign_body(args: argparse.Namespace, arms: Sequence[str],
         if not verdict.ok:
             _progress(args.quiet,
                       f"seed {seed}: FAIL — {verdict.failures[0]}")
-            _record_failure(args, spec, verdict, arms, input_seeds)
+            _record_failure(args, spec, verdict, arms, input_seeds, machine)
             failing.append(verdict)
         elif tested % 25 == 0:
             _progress(args.quiet,
@@ -155,19 +163,22 @@ def _campaign_body(args: argparse.Namespace, arms: Sequence[str],
 
 def _record_failure(args: argparse.Namespace, spec: KernelSpec,
                     verdict: Verdict, arms: Sequence[str],
-                    input_seeds: Sequence[int]) -> None:
+                    input_seeds: Sequence[int],
+                    machine: Optional[MachineConfig] = None) -> None:
     original_statements = spec.statement_count()
     final_spec, final_verdict = spec, verdict
 
     if not args.no_shrink:
         def is_failing(candidate: KernelSpec) -> bool:
             return not run_oracle(candidate, arms=arms,
-                                  input_seeds=input_seeds).ok
+                                  input_seeds=input_seeds,
+                                  machine=machine).ok
 
         result = shrink(spec, is_failing)
         final_spec = result.spec
         final_verdict = run_oracle(final_spec, arms=arms,
-                                   input_seeds=input_seeds)
+                                   input_seeds=input_seeds,
+                                   machine=machine)
         if final_verdict.ok:  # paranoia: never record a passing "repro"
             final_spec, final_verdict = spec, verdict
         else:

@@ -46,12 +46,14 @@ from repro import (
     CFMConfig,
     CFMPass,
     GPU,
+    MachineConfig,
     PassPipeline,
     TailMergingPass,
     late_pipeline,
     o3_pipeline,
     verify_function,
 )
+from repro.simt import resolve_machine
 from repro.obs import MeldingDecision, Tracer, use as use_tracer
 
 from .generator import KernelSpec, build_kernel, make_inputs
@@ -275,11 +277,11 @@ def arm_trace(spec: KernelSpec, arm: str,
 
 def _run_arm(report: ArmReport, spec: KernelSpec,
              input_seeds: Sequence[int],
-             executor: Optional[str] = None) -> None:
+             machine: Optional[MachineConfig] = None) -> None:
     """Launch one compiled arm over every input set, reusing one GPU."""
     builder = report.builder
     outputs: List[Dict[str, List[int]]] = []
-    with GPU(builder.module, executor=executor) as gpu:
+    with GPU(builder.module, machine) as gpu:
         for input_seed in input_seeds:
             args = make_inputs(spec, input_seed)
             try:
@@ -312,13 +314,19 @@ def run_oracle(spec: KernelSpec,
                arms: Sequence[str] = ALL_ARMS,
                input_seeds: Sequence[int] = (0, 1),
                cfm_config: Optional[CFMConfig] = None,
+               machine: Optional[MachineConfig] = None,
                executor: Optional[str] = None) -> Verdict:
     """Compile and run ``spec`` under every arm; diff against ``noopt``.
 
-    ``executor`` selects the warp executor for every arm's launches
-    ("fast" / "reference"; None uses the machine default) — the
-    executor-differential tests run the same compiled arms under both.
+    ``machine`` (a :class:`~repro.simt.MachineConfig`) describes the
+    simulated GPU every arm launches on — executor, reconvergence
+    policy, latency model.  The executor-differential tests run the same
+    compiled arms under both executors; the policy-differential contract
+    is that device memory is bit-identical across reconvergence policies
+    too.  ``executor=`` is the deprecated pre-PR-7 spelling.
     """
+    machine = resolve_machine(machine, executor=executor,
+                              where="run_oracle")
     unknown = set(arms) - set(ALL_ARMS)
     if unknown:
         raise ValueError(f"unknown arms: {sorted(unknown)} "
@@ -332,7 +340,7 @@ def run_oracle(spec: KernelSpec,
     for arm in arm_list:
         report = _compile_arm(arm, spec, cfm_config)
         if report.failure is None:
-            _run_arm(report, spec, input_seeds, executor=executor)
+            _run_arm(report, spec, input_seeds, machine=machine)
         verdict.arms[arm] = report
         if report.failure is not None:
             verdict.failures.append(report.failure)

@@ -30,6 +30,7 @@ import time
 from typing import Optional, Sequence
 
 from repro.kernels import REAL_WORLD_BUILDERS, SYNTHETIC_BUILDERS
+from repro.simt import RECONVERGENCE_POLICIES, MachineConfig
 
 from .experiments import (
     REAL_BLOCK_SIZES,
@@ -43,6 +44,7 @@ from .experiments import (
 from .reporting import (
     format_counters,
     format_figure8,
+    format_policy_comparison,
     format_speedups,
     format_table1,
     format_table2,
@@ -54,9 +56,16 @@ def build_report(quick: bool = False, workers: int = 1,
                  timeout: Optional[float] = None,
                  kernels: Optional[Sequence[str]] = None,
                  trace: Optional[SweepTraceCollector] = None,
-                 cache_dir: Optional[str] = None) -> str:
+                 cache_dir: Optional[str] = None,
+                 reconvergence: Sequence[str] = ("ipdom",)) -> str:
     sections = []
     start = time.perf_counter()
+
+    for policy in reconvergence:
+        if policy not in RECONVERGENCE_POLICIES:
+            raise SystemExit(
+                f"unknown reconvergence policy {policy!r} "
+                f"(available: {', '.join(RECONVERGENCE_POLICIES)})")
 
     synthetic = {name: builder for name, builder in SYNTHETIC_BUILDERS.items()
                  if not kernels or name in kernels}
@@ -74,27 +83,50 @@ def build_report(quick: bool = False, workers: int = 1,
     if not kernels:
         sections.append(format_table1(table1()))
 
-    rows7 = []
-    if synthetic:
-        synthetic_sizes = [16, 32] if quick else None
-        rows7, _ = figure7(block_sizes=synthetic_sizes, workers=workers,
-                           timeout=timeout, trace=trace, builders=synthetic,
+    # One figure sweep per requested reconvergence policy; the Chrome
+    # trace capture is attached to the first policy only so a
+    # multi-policy report does not duplicate task entries.
+    per_policy_rows = {}
+    counter_source = []
+    for position, policy in enumerate(reconvergence):
+        machine = MachineConfig(reconvergence=policy)
+        policy_trace = trace if position == 0 else None
+        suffix = (f" [reconvergence={policy}]"
+                  if len(reconvergence) > 1 or policy != "ipdom" else "")
+
+        rows7 = []
+        if synthetic:
+            synthetic_sizes = [16, 32] if quick else None
+            rows7, _ = figure7(block_sizes=synthetic_sizes, workers=workers,
+                               timeout=timeout, trace=policy_trace,
+                               builders=synthetic, machine=machine,
+                               cache_dir=cache_dir)
+            sections.append(format_speedups(
+                rows7, f"Figure 7: synthetic benchmark speedups{suffix}"))
+
+        fig8_rows = []
+        if real:
+            real_sizes = ({k: v[:2] for k, v in REAL_BLOCK_SIZES.items()}
+                          if quick else None)
+            fig8 = figure8(block_sizes=real_sizes, workers=workers,
+                           timeout=timeout, trace=policy_trace,
+                           builders=real, machine=machine,
                            cache_dir=cache_dir)
-        sections.append(
-            format_speedups(rows7, "Figure 7: synthetic benchmark speedups"))
+            fig8_rows = fig8.rows
+            sections.append(format_figure8(fig8, suffix=suffix))
 
-    fig8_rows = []
-    if real:
-        real_sizes = ({k: v[:2] for k, v in REAL_BLOCK_SIZES.items()}
-                      if quick else None)
-        fig8 = figure8(block_sizes=real_sizes, workers=workers,
-                       timeout=timeout, trace=trace, builders=real,
-                       cache_dir=cache_dir)
-        fig8_rows = fig8.rows
-        sections.append(format_figure8(fig8))
+        per_policy_rows[policy] = rows7 + fig8_rows
+        if position == 0:
+            counter_source = rows7 + fig8_rows
 
-    if rows7 or fig8_rows:
-        counter_rows = counters(best_improvement_rows(rows7 + fig8_rows))
+    if len(reconvergence) > 1 and any(per_policy_rows.values()):
+        sections.append(format_policy_comparison(
+            per_policy_rows,
+            "Reconvergence policy sensitivity (memory is bit-identical "
+            "across policies; cycles are per-policy)"))
+
+    if counter_source:
+        counter_rows = counters(best_improvement_rows(counter_source))
         sections.append(format_counters(counter_rows))
 
     if not kernels:
@@ -137,6 +169,14 @@ def main(argv=None) -> int:
                              "size of each kernel)")
     parser.add_argument("--json", metavar="FILE",
                         help="also dump raw speedup/counter data as JSON")
+    parser.add_argument("--reconvergence", metavar="P1,P2,...",
+                        default="ipdom",
+                        help="comma-separated reconvergence policies to "
+                             f"sweep (available: "
+                             f"{','.join(RECONVERGENCE_POLICIES)}; default: "
+                             "ipdom).  More than one policy adds per-policy "
+                             "Figure 7/8 sections plus a side-by-side "
+                             "sensitivity table")
     parser.add_argument("--compile-cache", metavar="DIR", default=None,
                         help="persistent compile-cache directory shared by "
                              "all workers and repeat runs (default: the "
@@ -151,6 +191,8 @@ def main(argv=None) -> int:
 
     kernels = ([k.strip() for k in args.kernels.split(",") if k.strip()]
                if args.kernels else None)
+    reconvergence = tuple(p.strip() for p in args.reconvergence.split(",")
+                          if p.strip()) or ("ipdom",)
     trace = (None if args.no_trace
              else SweepTraceCollector(workers=args.workers,
                                       timeout=args.timeout,
@@ -187,7 +229,7 @@ def main(argv=None) -> int:
 
     report = build_report(quick=args.quick, workers=args.workers,
                           timeout=args.timeout, kernels=kernels, trace=trace,
-                          cache_dir=cache_dir)
+                          cache_dir=cache_dir, reconvergence=reconvergence)
     if args.out:
         with open(args.out, "w") as handle:
             handle.write(report)

@@ -39,16 +39,55 @@ def format_speedups(rows: List[SpeedupRow], title: str) -> str:
             + f"\nGM = {gm}")
 
 
-def format_figure8(result: Figure8Result) -> str:
+def format_figure8(result: Figure8Result, suffix: str = "") -> str:
     body = []
     for r in result.rows:
         mark = "+" if result.best_baseline_block[r.kernel] == r.block_size else " "
         body.append([f"{r.kernel}{mark}", str(r.block_size), f"{r.speedup:.3f}",
                      str(r.baseline_cycles), str(r.cfm_cycles), str(r.melds)])
-    return ("Figure 8: real-world benchmark speedups ('+' = best baseline block size)\n"
+    return ("Figure 8: real-world benchmark speedups "
+            f"('+' = best baseline block size){suffix}\n"
             + _table(["kernel", "block", "speedup", "base cycles",
                       "cfm cycles", "melds"], body)
             + f"\nGM = {result.geomean_all:.3f}   GM-best = {result.geomean_best:.3f}")
+
+
+def format_policy_comparison(rows_by_policy: Dict[str, List[SpeedupRow]],
+                             title: str) -> str:
+    """Side-by-side reconvergence-policy table over one sweep's rows.
+
+    Device memory is bit-identical across policies (the difftest
+    contract), so the comparison is purely about cycles: per-policy
+    baseline cycles with a ratio against the first policy, and
+    per-policy CFM speedups.  A ratio of 1.000 means the kernel's
+    control flow is structured enough that the policies schedule it
+    identically.
+    """
+    policies = list(rows_by_policy)
+    base = policies[0]
+    index = {policy: {(r.kernel, r.block_size): r for r in rows}
+             for policy, rows in rows_by_policy.items()}
+    headers = ["kernel", "block"]
+    headers += [f"base cycles ({policy})" for policy in policies]
+    headers += [f"ratio {policy}/{base}" for policy in policies[1:]]
+    headers += [f"speedup ({policy})" for policy in policies]
+    body = []
+    for row in rows_by_policy[base]:
+        key = (row.kernel, row.block_size)
+        others = [index[policy].get(key) for policy in policies[1:]]
+        cells = [row.kernel, str(row.block_size)]
+        cells.append(str(row.baseline_cycles))
+        cells += [str(o.baseline_cycles) if o else "n/a" for o in others]
+        cells += [f"{o.baseline_cycles / row.baseline_cycles:.3f}"
+                  if o else "n/a" for o in others]
+        cells.append(f"{row.speedup:.3f}")
+        cells += [f"{o.speedup:.3f}" if o else "n/a" for o in others]
+        body.append(cells)
+    footer = "   ".join(
+        f"GM({policy}) = {geomean([r.speedup for r in rows]):.3f}"
+        if rows else f"GM({policy}) = n/a"
+        for policy, rows in rows_by_policy.items())
+    return f"{title}\n" + _table(headers, body) + "\n" + footer
 
 
 def format_counters(rows: List[CounterRow]) -> str:

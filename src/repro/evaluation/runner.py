@@ -25,13 +25,24 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.compile_cache import CacheHit, CompileCache, cfm_pipeline_id
+from repro.compile_cache import (
+    CacheHit,
+    CompileCache,
+    _machine_from_latency,
+    cfm_pipeline_id,
+)
 from repro.core import CFMConfig, CFMStats, run_cfm
 from repro.ir import print_module, verify_function
 from repro.kernels.common import KernelCase
 from repro.obs import current_tracer, emit_pass_timing
-from repro.simt import DEFAULT_CONFIG, MachineConfig, Metrics, run_kernel
-from repro.simt import lower_symbolic
+from repro.simt import (
+    DEFAULT_CONFIG,
+    MachineConfig,
+    Metrics,
+    lower_symbolic,
+    resolve_machine,
+    run_kernel,
+)
 from repro.transforms import (
     PassPipeline,
     PassTiming,
@@ -66,7 +77,7 @@ class CompileResult:
 
 
 def _run_o3(case: KernelCase, cache: Optional[CompileCache],
-            collect_ir_stats: bool, latency=None,
+            collect_ir_stats: bool, machine=None,
             printed: Optional[str] = None
             ) -> Tuple[float, bool, List[PassTiming]]:
     """Run (or replay) the ``-O3`` pipeline on ``case``'s module in place.
@@ -84,7 +95,7 @@ def _run_o3(case: KernelCase, cache: Optional[CompileCache],
             printed = print_module(case.module)
         key = CompileCache.key("o3", printed)
         hit = cache.lookup(key, want_ir_stats=collect_ir_stats,
-                           latency=latency)
+                           machine=machine)
         if hit is not None:
             case.module = hit.module
             return hit.seconds, True, hit.timings
@@ -93,11 +104,11 @@ def _run_o3(case: KernelCase, cache: Optional[CompileCache],
     seconds = time.perf_counter() - start
     timings = list(pipeline.timings)
     if cache is not None:
-        program = (lower_symbolic(case.function, latency)
-                   if latency is not None else None)
+        program = (lower_symbolic(case.function, machine.latency)
+                   if machine is not None else None)
         cache.store(key, case.module, seconds, timings,
                     ir_stats=collect_ir_stats, program=program,
-                    latency=latency)
+                    machine=machine)
     return seconds, False, timings
 
 
@@ -111,15 +122,18 @@ def _hit_result(hit: CacheHit) -> CompileResult:
 def compile_baseline(case: KernelCase, verify: bool = True,
                      cache: Optional[CompileCache] = None,
                      collect_ir_stats: bool = False,
-                     latency=None) -> CompileResult:
+                     machine: Optional[MachineConfig] = None,
+                     *, latency=None) -> CompileResult:
     """``-O3`` pipeline only.
 
-    ``latency`` (a :class:`~repro.analysis.latency.LatencyModel`) makes
-    cache entries carry the lowered µop program for that machine model,
-    so a warm process also skips launch-time lowering.
+    ``machine`` (a :class:`~repro.simt.MachineConfig`) makes cache
+    entries carry the lowered µop program for that machine, so a warm
+    process also skips launch-time lowering; ``latency=`` is the
+    deprecated pre-PR-7 spelling.
     """
+    machine = _machine_from_latency(machine, latency, "compile_baseline")
     seconds, cached, timings = _run_o3(case, cache, collect_ir_stats,
-                                       latency=latency)
+                                       machine=machine)
     if verify and not cached:
         # Cached entries were verified by the run that produced them and
         # print/parse round-trips exactly; the hot path skips the re-check
@@ -133,7 +147,8 @@ def compile_cfm(case: KernelCase, config: Optional[CFMConfig] = None,
                 verify: bool = True,
                 cache: Optional[CompileCache] = None,
                 collect_ir_stats: bool = False,
-                latency=None) -> CompileResult:
+                machine: Optional[MachineConfig] = None,
+                *, latency=None) -> CompileResult:
     """``-O3`` + CFM + late cleanups (§V-A pipeline).
 
     With a cache, the **whole** pipeline result is keyed under
@@ -143,13 +158,14 @@ def compile_cfm(case: KernelCase, config: Optional[CFMConfig] = None,
     pass.  A full-key miss still falls through to the shared ``"o3"``
     entry before running the pipelines.
     """
+    machine = _machine_from_latency(machine, latency, "compile_cfm")
     full_key = None
     printed = None
     if cache is not None:
         printed = print_module(case.module)
         full_key = CompileCache.key(cfm_pipeline_id(config), printed)
         hit = cache.lookup(full_key, want_ir_stats=collect_ir_stats,
-                           latency=latency)
+                           machine=machine)
         if hit is not None:
             case.module = hit.module
             return _hit_result(hit)
@@ -180,11 +196,11 @@ def compile_cfm(case: KernelCase, config: Optional[CFMConfig] = None,
     if verify:
         verify_function(case.function)
     if cache is not None:
-        program = (lower_symbolic(case.function, latency)
-                   if latency is not None else None)
+        program = (lower_symbolic(case.function, machine.latency)
+                   if machine is not None else None)
         cache.store(full_key, case.module, o3_seconds, timings,
                     ir_stats=collect_ir_stats, program=program,
-                    latency=latency, cfm_seconds=cfm_seconds,
+                    machine=machine, cfm_seconds=cfm_seconds,
                     cfm_stats=stats)
     return CompileResult(o3_seconds=o3_seconds, cfm_seconds=cfm_seconds,
                          cfm_stats=stats, o3_cached=cached,
@@ -204,12 +220,12 @@ def execute(case: KernelCase, seed: int = 1234,
             check: bool = True,
             trace_label: Optional[str] = None,
             executor: Optional[str] = None) -> RunResult:
+    machine = resolve_machine(machine, executor=executor, where="execute")
     inputs = case.make_buffers(seed)
     outputs, metrics = run_kernel(
         case.module, case.kernel, case.grid_dim, case.block_dim,
         buffers={name: list(data) for name, data in inputs.items()},
-        scalars=case.scalars, config=machine, trace_label=trace_label,
-        executor=executor)
+        scalars=case.scalars, machine=machine, trace_label=trace_label)
     if check:
         case.verify_outputs(inputs, outputs)
     return RunResult(metrics=metrics, outputs=outputs)
@@ -258,14 +274,14 @@ def compare(
     base_case = builder(block_size=block_size, grid_dim=grid_dim)
     cfm_case = builder(block_size=block_size, grid_dim=grid_dim)
     label = name or base_case.name
-    latency = (machine or DEFAULT_CONFIG).latency
+    machine = machine if machine is not None else DEFAULT_CONFIG
 
     base_compile = compile_baseline(base_case, cache=cache,
                                     collect_ir_stats=collect_ir_stats,
-                                    latency=latency)
+                                    machine=machine)
     cfm_compile = compile_cfm(cfm_case, config, cache=cache,
                               collect_ir_stats=collect_ir_stats,
-                              latency=latency)
+                              machine=machine)
 
     base_run = execute(base_case, seed=seed, machine=machine,
                        trace_label=f"o3:{label}-{block_size}")

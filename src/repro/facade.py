@@ -31,8 +31,15 @@ from repro.ir import Function, Module, Type, I32, print_module, verify_function
 from repro.kernels.common import KernelCase
 from repro.kernels.dsl import KernelBuilder
 from repro.obs import current_tracer, emit_pass_timing
-from repro.simt import DEFAULT_CONFIG, GPU, Buffer, MachineConfig, Metrics
-from repro.simt import lower_symbolic
+from repro.simt import (
+    DEFAULT_CONFIG,
+    GPU,
+    Buffer,
+    MachineConfig,
+    Metrics,
+    lower_symbolic,
+    resolve_machine,
+)
 from repro.transforms import PassTiming, late_pipeline, optimize
 
 KernelLike = Union[Function, KernelBuilder, KernelCase]
@@ -85,7 +92,8 @@ class CompileReport:
 def compile(kernel: KernelLike, level: str = "O3",
             cfm: Union[bool, CFMConfig] = False,
             verify: bool = True,
-            cache: Optional[CompileCache] = None) -> CompileReport:
+            cache: Optional[CompileCache] = None,
+            machine: Optional[MachineConfig] = None) -> CompileReport:
     """Compile ``kernel`` in place and return a :class:`CompileReport`.
 
     ``level="O3"`` runs the baseline pipeline (the paper's HIPCC ``-O3``
@@ -98,8 +106,9 @@ def compile(kernel: KernelLike, level: str = "O3",
     result is keyed on the kernel's printed IR: a hit swaps an
     independently parsed optimized module into the builder/case (the
     report's ``cached`` flag is set and ``seconds`` replays the original
-    run's cost), and the lowered µop program for the default machine
-    model is pre-seeded so the first launch skips lowering too.  Raw
+    run's cost), and the lowered µop program for ``machine`` (default:
+    the default machine) is pre-seeded so the first launch skips
+    lowering too.  Raw
     :class:`~repro.ir.Function` inputs are compiled normally — the
     in-place contract leaves nothing to swap.
     """
@@ -107,6 +116,7 @@ def compile(kernel: KernelLike, level: str = "O3",
         raise ValueError(
             f"unknown level {level!r}; expected one of {COMPILE_LEVELS}")
     function = _as_function(kernel)
+    machine = machine if machine is not None else DEFAULT_CONFIG
 
     config = cfm if isinstance(cfm, CFMConfig) else None
     cacheable = (cache is not None and level == "O3"
@@ -116,7 +126,7 @@ def compile(kernel: KernelLike, level: str = "O3",
     if cacheable:
         pipeline_id = cfm_pipeline_id(config) if cfm else "o3"
         key = CompileCache.key(pipeline_id, print_module(function.module))
-        hit = cache.lookup(key, latency=DEFAULT_CONFIG.latency)
+        hit = cache.lookup(key, machine=machine)
         if hit is not None:
             kernel.module = hit.module
             replayed = hit.module.functions[function.name]
@@ -153,9 +163,9 @@ def compile(kernel: KernelLike, level: str = "O3",
     if verify:
         verify_function(function)
     if cacheable:
-        program = lower_symbolic(function, DEFAULT_CONFIG.latency)
+        program = lower_symbolic(function, machine.latency)
         cache.store(key, function.module, seconds, timings,
-                    program=program, latency=DEFAULT_CONFIG.latency,
+                    program=program, machine=machine,
                     cfm_stats=stats)
     return CompileReport(function=function, level=level, cfm_stats=stats,
                          seconds=seconds, pass_timings=timings)
@@ -185,20 +195,25 @@ def launch(module: Union[Module, KernelLike], grid: int, block: int,
     the module's only function.  Pass an existing :class:`GPU` (see
     ``GPU.reset``) to reuse one machine across many launches.
 
-    ``executor`` selects the warp executor ("fast" lowered µop programs,
-    "reference" IR tree-walker; default per ``MachineConfig.executor``).
-    An existing ``gpu`` already carries its executor choice, so passing
-    both is rejected as ambiguous.
+    ``machine`` (a :class:`MachineConfig`) is the whole machine
+    description — executor, reconvergence policy, latency model.  An
+    existing ``gpu`` already carries its machine, so combining ``gpu=``
+    with ``machine=`` (or with any kwarg that duplicates a
+    ``MachineConfig`` field, like the deprecated ``executor=``) is
+    rejected as ambiguous.
 
     Under ``repro.trace(...)`` the launch records per-warp divergence
     events on its own trace process, named ``trace_label`` (default
     ``launch:<kernel>``).
     """
     module = _as_module(module)
-    if gpu is not None and executor is not None:
-        raise ValueError(
-            "pass executor= to GPU(...) when reusing a machine; "
-            "launch(gpu=..., executor=...) is ambiguous")
+    if gpu is not None:
+        for name, value in (("machine", machine), ("executor", executor)):
+            if value is not None:
+                raise ValueError(
+                    f"launch(gpu=..., {name}=...) is ambiguous: the GPU "
+                    f"already carries its machine, which wins; construct "
+                    f"it as GPU(module, machine) instead")
     if kernel is None:
         names = list(module.functions)
         if len(names) != 1:
@@ -207,8 +222,8 @@ def launch(module: Union[Module, KernelLike], grid: int, block: int,
                 f"pass kernel=<name>")
         kernel = names[0]
 
-    device = gpu if gpu is not None else GPU(module, machine,
-                                             executor=executor)
+    device = gpu if gpu is not None else GPU(
+        module, resolve_machine(machine, executor=executor, where="launch"))
     bound: Dict[str, object] = {}
     handles: Dict[str, Buffer] = {}
     for name, value in args.items():

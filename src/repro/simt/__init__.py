@@ -1,17 +1,29 @@
-"""SIMT GPU simulator: warps, IPDOM reconvergence, metrics.
+"""SIMT GPU simulator: warps, pluggable reconvergence, metrics.
 
 This package substitutes for the paper's AMD Vega 64 + rocprof setup: it
-executes kernels warp-by-warp in lockstep with an IPDOM reconvergence
-stack (the divergence mechanism CFM optimizes) and reports the same
-counter families the paper measures.
+executes kernels warp-by-warp in lockstep under a reconvergence policy
+(the divergence mechanism CFM optimizes) and reports the same counter
+families the paper measures.
 
-Two executors share the machine semantics (see ``docs/performance.md``):
-the tree-walking **reference** interpreter (:class:`Warp`) and the
-lowered **fast** path (:class:`FastWarp` over a :class:`LoweredProgram`),
-selected via ``MachineConfig.executor`` or ``GPU(executor=...)``.
+:class:`MachineConfig` is the single machine description — warp size,
+latency model, executor, reconvergence policy — accepted uniformly as
+``machine=`` by every launch surface.  Two executors share the machine
+semantics (see ``docs/performance.md``): the tree-walking **reference**
+interpreter (:class:`Warp`) and the lowered **fast** path
+(:class:`FastWarp` over a :class:`LoweredProgram`), selected via
+``MachineConfig.executor``.  Two reconvergence policies share the
+scheduling logic (:mod:`repro.simt.reconvergence`): the classic
+``"ipdom"`` stack and the stack-less ``"min-pc"`` path list, selected
+via ``MachineConfig.reconvergence``.
 """
 
-from .config import DEFAULT_CONFIG, EXECUTORS, MachineConfig
+from .config import (
+    DEFAULT_CONFIG,
+    EXECUTORS,
+    MachineConfig,
+    machine_token_key,
+    resolve_machine,
+)
 from .fastpath import FastWarp
 from .lowering import (
     PROGRAM_SCHEMA,
@@ -28,10 +40,20 @@ from .lowering import (
 from .machine import GPU, Buffer, run_kernel
 from .memory import DeviceMemory, MemoryError_, sizeof
 from .metrics import Metrics
+from .reconvergence import (
+    RECONVERGENCE_POLICIES,
+    IPDOMPolicy,
+    MinPCPolicy,
+    ReconvergencePolicy,
+    get_policy,
+)
 from .warp import SimulationError, UNDEF, Warp
 
 __all__ = [
     "DEFAULT_CONFIG", "EXECUTORS", "MachineConfig",
+    "machine_token_key", "resolve_machine",
+    "RECONVERGENCE_POLICIES", "ReconvergencePolicy",
+    "IPDOMPolicy", "MinPCPolicy", "get_policy",
     "GPU", "Buffer", "run_kernel",
     "DeviceMemory", "MemoryError_", "sizeof",
     "Metrics",

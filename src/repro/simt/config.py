@@ -1,5 +1,13 @@
 """Machine model for the SIMT simulator.
 
+:class:`MachineConfig` is **the single machine description**: warp
+width, latency tables, coalescing, the warp executor *and* the
+reconvergence policy all live here, and every launch surface — ``GPU``,
+``run_kernel``, ``repro.launch``, difftest's ``run_oracle``, the
+evaluation sweeps — accepts one uniform ``machine=`` argument.  The
+pre-PR-7 spellings (``executor=`` kwargs, ``config=``) survive as thin
+deprecated aliases for one release; see :func:`resolve_machine`.
+
 The defaults are Vega-flavoured (the paper's GPU): SIMD execution of one
 warp/wavefront per issue, LDS much cheaper than global memory, and
 64-byte memory coalescing segments.  ``warp_size`` defaults to 32 so the
@@ -9,17 +17,28 @@ width of 64 is a one-line change and is exercised in tests/ablations.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import json
+from dataclasses import dataclass, field, replace
+from typing import Optional
 
-from repro.analysis.latency import LatencyModel
+from repro._deprecation import warn_once
+from repro.analysis.latency import LatencyModel, latency_token
 
-#: recognized ``MachineConfig.executor`` / ``GPU(executor=...)`` values
+from .reconvergence import RECONVERGENCE_POLICIES
+
+#: recognized ``MachineConfig.executor`` values
 EXECUTORS = ("fast", "reference")
 
 
 @dataclass
 class MachineConfig:
-    """Tunable parameters of the simulated GPU."""
+    """Tunable parameters of the simulated GPU.
+
+    Instances hash and compare by contents (:meth:`token`), so configs
+    can key caches directly — two machines with equal fields share
+    warp-level program cache entries, and machines that differ in any
+    observable knob (including :attr:`reconvergence`) can never alias.
+    """
 
     warp_size: int = 32
     #: static latency table shared with CFM's profitability heuristics
@@ -36,6 +55,21 @@ class MachineConfig:
     #: "reference" walks the IR directly (repro.simt.warp) — bit-identical
     #: semantics, held together by tests/simt/test_executor_diff.py
     executor: str = "fast"
+    #: reconvergence policy: "ipdom" (classic post-dominator stack) or
+    #: "min-pc" (stack-less path list with fusion); see
+    #: repro.simt.reconvergence.  Device memory is policy-invariant for
+    #: race-free kernels; cycles/divergence observables are per-policy.
+    reconvergence: str = "ipdom"
+
+    def __post_init__(self) -> None:
+        if self.executor not in EXECUTORS:
+            raise ValueError(
+                f"unknown executor {self.executor!r}; "
+                f"expected one of {EXECUTORS}")
+        if self.reconvergence not in RECONVERGENCE_POLICIES:
+            raise ValueError(
+                f"unknown reconvergence policy {self.reconvergence!r}; "
+                f"expected one of {RECONVERGENCE_POLICIES}")
 
     def transactions_for(self, addresses) -> int:
         """Number of coalescing segments touched by the given byte
@@ -45,5 +79,76 @@ class MachineConfig:
         seg = self.coalesce_segment_bytes
         return len({addr // seg for addr in addresses})
 
+    # ---- identity ---------------------------------------------------------
+
+    def token(self) -> tuple:
+        """Hashable identity of every observable field (backs ``hash``)."""
+        return (self.warp_size, latency_token(self.latency),
+                self.coalesce_segment_bytes, self.extra_transaction_cycles,
+                self.max_warp_steps, self.profile_branches,
+                self.executor, self.reconvergence)
+
+    def program_token(self) -> tuple:
+        """Identity of everything warp-level *lowering state* may depend
+        on.  Includes the reconvergence policy, so per-policy entries in
+        the program memo and the persistent compile cache can never
+        alias across policies (µop programs are policy-independent
+        today, but the key is defensive by design)."""
+        return (latency_token(self.latency), self.reconvergence)
+
+    def __hash__(self) -> int:
+        return hash(self.token())
+
+
+def machine_token_key(machine: MachineConfig) -> str:
+    """Stable text form of :meth:`MachineConfig.program_token`, used by
+    digest-keyed caches (the persistent compile cache's program
+    payload)."""
+    return json.dumps(machine.program_token(), separators=(",", ":"))
+
 
 DEFAULT_CONFIG = MachineConfig()
+
+
+def resolve_machine(machine: Optional[MachineConfig] = None, *,
+                    config: Optional[MachineConfig] = None,
+                    executor: Optional[str] = None,
+                    where: str = "GPU",
+                    stacklevel: int = 4) -> MachineConfig:
+    """Collapse the legacy machine kwargs into one :class:`MachineConfig`.
+
+    ``machine=`` is the canonical spelling.  The legacy kwargs —
+    ``config=`` (the old name) and ``executor=`` (the old per-call
+    override, which still overrides ``config.executor`` as it always
+    did) — keep working on their own, each emitting a
+    :class:`DeprecationWarning` once per call site.  But a legacy kwarg
+    that duplicates a ``MachineConfig`` field alongside ``machine=`` is
+    rejected with an error naming the winning spelling: the redesign's
+    whole point is that the machine description has one home.
+    """
+    if machine is not None:
+        if config is not None:
+            raise ValueError(
+                f"{where}: config= and machine= are the same parameter; "
+                f"pass machine= only")
+        if executor is not None:
+            raise ValueError(
+                f"{where}: executor= duplicates MachineConfig.executor "
+                f"and the machine= config wins; spell it "
+                f"machine=MachineConfig(executor={executor!r})")
+        return machine
+    if config is not None:
+        warn_once(f"{where}(config=...) is deprecated; "
+                  f"pass machine=<MachineConfig>", stacklevel=stacklevel)
+        machine = config
+    if executor is not None:
+        warn_once(f"{where}(executor=...) is deprecated; pass "
+                  f"machine=MachineConfig(executor=...)",
+                  stacklevel=stacklevel)
+        if executor not in EXECUTORS:
+            raise ValueError(
+                f"unknown executor {executor!r}; "
+                f"expected one of {EXECUTORS}")
+        machine = replace(machine if machine is not None else DEFAULT_CONFIG,
+                          executor=executor)
+    return machine if machine is not None else DEFAULT_CONFIG

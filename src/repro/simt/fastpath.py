@@ -1,8 +1,9 @@
 """Fast-path warp executor over lowered µop programs.
 
-Same machine semantics as :class:`repro.simt.warp.Warp` — the IPDOM
-reconvergence stack, φ-on-edge transfer, undef trapping, the cycle and
-transaction model — but executing a :class:`~repro.simt.lowering.LoweredProgram`
+Same machine semantics as :class:`repro.simt.warp.Warp` — the pluggable
+reconvergence policy (:mod:`repro.simt.reconvergence`), φ-on-edge
+transfer, undef trapping, the cycle and transaction model — but
+executing a :class:`~repro.simt.lowering.LoweredProgram`
 instead of walking IR objects:
 
 * operands live in a flat register file (``regs[slot][lane]``) instead of
@@ -10,7 +11,10 @@ instead of walking IR objects:
 * each µop carries a pre-specialized per-lane closure, so per-instruction
   dispatch is one small-int comparison instead of an ``isinstance`` chain;
 * branch targets, φ transfer plans and reconvergence points are block
-  indices precomputed at lowering time.
+  indices precomputed at lowering time.  That successor/φ/rpc metadata
+  is policy-*independent* — the min-PC scheduler simply ignores the rpc
+  hint — so one ``LoweredProgram`` (and one serialized compile-cache
+  entry) serves every reconvergence policy.
 
 Everything observable is bit-identical to the reference executor:
 device memory, every :class:`~repro.simt.metrics.Metrics` counter, the
@@ -51,6 +55,7 @@ from .lowering import (
 )
 from .memory import BlockMemoryView, MemoryError_, SHARED_BASE
 from .metrics import Metrics
+from .reconvergence import get_policy
 from .warp import SimulationError, UNDEF, account_memory
 
 #: Test-only hook (see ``benchmarks/perf/test_guard.py``): a positive
@@ -141,24 +146,24 @@ class FastWarp:
         max_steps = config.max_warp_steps
 
         all_lanes = tuple(range(len(self.lanes)))
-        # Stack entries are mutable [pc_index, rpc_index, mask]; -1 marks
-        # "no reconvergence point" (the reference's rpc=None).
-        stack: List[list] = [[program.entry_index, -1, all_lanes]]
-        while stack:
-            entry = stack[-1]
-            pc = entry[0]
-            rpc = entry[1]
-            if rpc >= 0 and pc == rpc:
-                stack.pop()
-                if trace is not None:
-                    trace.reconverge(metrics.cycles, blocks[rpc].name,
-                                     len(stack[-1][2]) if stack else 0)
-                continue
+        # All control flow goes through the policy's per-warp scheduler;
+        # PCs are block indices in program.blocks order (same numbering
+        # the reference executor uses).
+        scheduler = get_policy(config.reconvergence).scheduler(
+            program.entry_index, all_lanes)
+        scheduler_next = scheduler.next
+        while True:
+            pc, mask, merges = scheduler_next()
+            if merges is not None and trace is not None:
+                for merge_pc, active in merges:
+                    trace.reconverge(metrics.cycles, blocks[merge_pc].name,
+                                     active)
+            if pc is None:
+                return
 
             if _TEST_DISPATCH_DELAY:
                 time.sleep(_TEST_DISPATCH_DELAY)
             block = blocks[pc]
-            mask = entry[2]
             if trace is not None:
                 trace.exec_block(metrics.cycles, block.name, len(mask))
 
@@ -244,7 +249,7 @@ class FastWarp:
             term = block.term
             kind = term[0]
             if kind == TERM_RET:
-                stack.pop()
+                scheduler.retire()
             elif kind == TERM_BR:
                 record_branch(branch_latency, divergent=False,
                               block_name=block.name, profile=profile)
@@ -253,7 +258,7 @@ class FastWarp:
                 pairs = term[2]
                 if pairs:
                     self._transfer(pairs, mask)
-                entry[0] = term[1]
+                scheduler.advance(term[1])
             elif kind == TERM_CBR:
                 rc = regs[term[1]]
                 taken: List[int] = []
@@ -275,28 +280,21 @@ class FastWarp:
                         target, pairs = term[3], term[6]
                     if pairs:
                         self._transfer(pairs, mask)
-                    entry[0] = target
+                    scheduler.advance(target)
                 else:
-                    # Divergence: serialize the two sides, reconverge at
-                    # the IPDOM (true side on top, so it runs first).
+                    # Divergence: the policy schedules the two sides;
+                    # term[4] is the precomputed IPDOM index hint (-1
+                    # when the sides never rejoin), which stack-less
+                    # policies ignore.
                     record_branch(branch_latency, divergent=True,
                                   block_name=block.name, profile=profile)
                     if trace is not None:
                         trace.diverge(metrics.cycles, block.name,
                                       len(taken), len(not_taken))
-                    rpc = term[4]
                     taken_t = tuple(taken)
                     not_taken_t = tuple(not_taken)
-                    if rpc < 0:
-                        # No common post-dominator: both sides run to
-                        # completion independently and never merge.
-                        stack.pop()
-                        stack.append([term[3], -1, not_taken_t])
-                        stack.append([term[2], -1, taken_t])
-                    else:
-                        entry[0] = rpc  # entry becomes the reconvergence holder
-                        stack.append([term[3], rpc, not_taken_t])
-                        stack.append([term[2], rpc, taken_t])
+                    scheduler.diverge(term[2], term[3], taken_t, not_taken_t,
+                                      term[4])
                     if term[6]:
                         self._transfer(term[6], not_taken_t)
                     if term[5]:

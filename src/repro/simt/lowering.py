@@ -21,9 +21,11 @@ time:
 
 Programs are cached per function behind the same memo pattern as
 :func:`repro.analysis.cached_divergence`, with two refinements: the
-cache key includes a **latency-model token** (latencies are baked into
-the µops, so two machines with different models must not share a
-program) and the structural fingerprint covers **operand identity**
+cache key is the machine's **program token**
+(:meth:`repro.simt.MachineConfig.program_token` — latency model plus
+reconvergence policy, since latencies are baked into the µops and
+per-policy lowering state must never alias) and the structural
+fingerprint covers **operand identity**
 (ids of operands, successors and φ incoming blocks), so in-place operand
 rewrites miss the cache instead of silently replaying stale code.
 
@@ -66,7 +68,11 @@ from repro.analysis.dominators import (
     compute_postdominator_tree,
     immediate_postdominator,
 )
-from repro.analysis.latency import LatencyModel
+from repro.analysis.latency import (
+    LatencyModel,
+    latency_token,
+    latency_token_key,
+)
 from repro.ir.block import BasicBlock
 from repro.ir.function import Function, GlobalVariable
 from repro.ir.instructions import (
@@ -705,25 +711,16 @@ def lower_function(function: Function, latency: LatencyModel) -> LoweredProgram:
 
 
 # ---------------------------------------------------------------------------
-# memoization — same shape as analysis.cached_divergence, but keyed also
-# on the latency model (latencies are baked into µops) and fingerprinted
-# down to operand identity (operand rewrites must miss).
+# memoization — same shape as analysis.cached_divergence, but keyed on
+# MachineConfig.program_token() (latencies are baked into µops, and the
+# reconvergence policy keys defensively so per-policy lowering state can
+# never alias) and fingerprinted down to operand identity (operand
+# rewrites must miss).  latency_token/latency_token_key now live in
+# repro.analysis.latency and are re-imported above for compatibility.
 
 _program_cache: "weakref.WeakKeyDictionary[Function, Dict[tuple, Tuple[tuple, LoweredProgram]]]" = (
     weakref.WeakKeyDictionary()
 )
-
-
-def latency_token(model: LatencyModel) -> tuple:
-    """Hashable identity of a latency model's observable contents."""
-    return (tuple(sorted(model.opcode_latency.items())),
-            tuple(sorted(model.memory_latency.items())),
-            model.barrier_latency)
-
-
-def latency_token_key(model: LatencyModel) -> str:
-    """Stable text form of :func:`latency_token`, for digest-keyed caches."""
-    return json.dumps(latency_token(model), separators=(",", ":"))
 
 
 def function_fingerprint(function: Function) -> tuple:
@@ -753,9 +750,16 @@ def function_fingerprint(function: Function) -> tuple:
     return tuple(parts)
 
 
-def get_program(function: Function, latency: LatencyModel) -> LoweredProgram:
-    """Memoized :func:`lower_function` (the launch-time entry point)."""
-    token = latency_token(latency)
+def get_program(function: Function, machine) -> LoweredProgram:
+    """Memoized :func:`lower_function` (the launch-time entry point).
+
+    ``machine`` is a :class:`repro.simt.MachineConfig`; the memo is keyed
+    by its :meth:`~repro.simt.MachineConfig.program_token`, so machines
+    that differ only in fields µop programs cannot observe (warp size,
+    coalescing) share entries while latency-model or policy changes
+    always miss.
+    """
+    token = machine.program_token()
     fingerprint = function_fingerprint(function)
     per_function = _program_cache.get(function)
     if per_function is not None:
@@ -765,12 +769,12 @@ def get_program(function: Function, latency: LatencyModel) -> LoweredProgram:
     else:
         per_function = {}
         _program_cache[function] = per_function
-    program = lower_function(function, latency)
+    program = lower_function(function, machine.latency)
     per_function[token] = (fingerprint, program)
     return program
 
 
-def seed_program(function: Function, latency: LatencyModel,
+def seed_program(function: Function, machine,
                  program: LoweredProgram) -> None:
     """Pre-populate the launch memo with an already-materialized program.
 
@@ -781,7 +785,7 @@ def seed_program(function: Function, latency: LatencyModel,
     lowering — if the function mutates before launch, the seed simply
     misses and lowering runs normally.
     """
-    token = latency_token(latency)
+    token = machine.program_token()
     per_function = _program_cache.get(function)
     if per_function is None:
         per_function = {}

@@ -22,7 +22,7 @@ from repro.ir.types import IntType, Type, I32
 from repro.ir.values import Argument
 from repro.obs import WarpTrace, current_tracer, flush_warp_trace
 
-from .config import DEFAULT_CONFIG, EXECUTORS, MachineConfig
+from .config import MachineConfig, resolve_machine
 from .fastpath import FastWarp
 from .lowering import get_program
 from .memory import DeviceMemory, Segment
@@ -78,16 +78,18 @@ class GPU:
             gpu.launch("kernel", grid, block, {"data": buf})
     """
 
-    def __init__(self, module: Module, config: Optional[MachineConfig] = None,
+    def __init__(self, module: Module, machine: Optional[MachineConfig] = None,
+                 *, config: Optional[MachineConfig] = None,
                  executor: Optional[str] = None) -> None:
         self.module = module
-        self.config = config or DEFAULT_CONFIG
-        #: "fast" (lowered µop programs) or "reference" (IR tree-walker);
-        #: defaults to the config's choice, overridable per machine
-        self.executor = executor if executor is not None else self.config.executor
-        if self.executor not in EXECUTORS:
-            raise ValueError(
-                f"unknown executor {self.executor!r}; expected one of {EXECUTORS}")
+        #: the machine description (the second positional argument was
+        #: named ``config`` before PR 7; ``config=``/``executor=``
+        #: keywords survive as deprecated aliases via resolve_machine)
+        self.machine = resolve_machine(machine, config=config,
+                                       executor=executor, where="GPU")
+        #: legacy aliases for pre-PR-7 call sites; same object as machine
+        self.config = self.machine
+        self.executor = self.machine.executor
         self.memory = DeviceMemory(module)
         #: launches since construction (reset() does not clear it)
         self.launch_count = 0
@@ -141,9 +143,9 @@ class GPU:
         self.launch_count += 1
         bound = self._bind_args(function, args)
         # Fast path: lower the function once per launch (memoized across
-        # launches by fingerprint + latency model, so the per-launch cost
-        # of a cache hit is one fingerprint walk).
-        program = (get_program(function, self.config.latency)
+        # launches by fingerprint + machine program token, so the
+        # per-launch cost of a cache hit is one fingerprint walk).
+        program = (get_program(function, self.machine)
                    if self.executor == "fast" else None)
         tracer = current_tracer()
         pid = 0
@@ -235,16 +237,21 @@ def run_kernel(
     buffers: Dict[str, Sequence],
     scalars: Optional[Dict[str, object]] = None,
     element_types: Optional[Dict[str, Type]] = None,
-    config: Optional[MachineConfig] = None,
+    machine: Optional[MachineConfig] = None,
     trace_label: Optional[str] = None,
+    *,
+    config: Optional[MachineConfig] = None,
     executor: Optional[str] = None,
 ) -> tuple:
     """One-shot convenience: allocate, launch, and read back.
 
+    ``machine`` (a :class:`MachineConfig`) is the whole machine
+    description; ``config=``/``executor=`` are deprecated aliases.
     Returns ``(outputs, metrics)`` where ``outputs`` maps each buffer name
     to its final contents.
     """
-    gpu = GPU(module, config, executor=executor)
+    gpu = GPU(module, resolve_machine(machine, config=config,
+                                      executor=executor, where="run_kernel"))
     args: Dict[str, object] = dict(scalars or {})
     handles: Dict[str, Buffer] = {}
     for name, data in buffers.items():

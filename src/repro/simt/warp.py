@@ -1,17 +1,21 @@
-"""Lockstep warp interpreter with an IPDOM reconvergence stack.
+"""Lockstep warp interpreter (the reference executor).
 
 This is the execution model whose inefficiency the paper attacks: a warp
 executes one instruction at a time under an *active mask*; at a divergent
 branch the mask splits, the two sides run serially, and the lanes
-reconverge at the immediate post-dominator (§I, §II-A).  Because each
+reconverge when their control paths meet again (§I, §II-A).  Because each
 *issue* costs the instruction's full latency regardless of how many lanes
 are active, divergent code pays twice — exactly the cost CFM's melding
 removes.
 
-The reconvergence stack follows the classic hardware scheme: entries are
-``(pc, rpc, mask)``; on divergence the current entry is rewritten to the
-reconvergence point and the two sides are pushed; an entry whose ``pc``
-reaches its ``rpc`` is popped, implicitly merging its lanes.
+*How* paths are scheduled and where they reconverge is pluggable: the
+warp asks :attr:`MachineConfig.reconvergence` for a
+:class:`repro.simt.reconvergence.ReconvergencePolicy` and drives all
+control flow through its per-warp scheduler (the classic IPDOM stack by
+default, or the stack-less min-PC path list).  The scheduler deals in
+block *indices* (position in ``function.blocks``), the same program
+counters the fast-path executor uses, so both executors share one
+scheduling implementation.
 
 φ nodes are evaluated *on edge transfer* (all reads before all writes),
 so blocks themselves only execute non-φ instructions; this is what makes
@@ -61,6 +65,7 @@ from repro.obs import WarpTrace
 from .config import MachineConfig
 from .memory import BlockMemoryView, SHARED_BASE, sizeof
 from .metrics import Metrics
+from .reconvergence import get_policy
 
 
 class SimulationError(Exception):
@@ -105,16 +110,6 @@ def account_memory(metrics: Metrics, config: MachineConfig, static_space: int,
     metrics.record_memory(static_space, latency + extra, transactions)
 
 
-class _StackEntry:
-    __slots__ = ("pc", "rpc", "mask")
-
-    def __init__(self, pc: BasicBlock, rpc: Optional[BasicBlock],
-                 mask: Tuple[int, ...]) -> None:
-        self.pc = pc
-        self.rpc = rpc
-        self.mask = mask
-
-
 class Warp:
     """One warp: ``warp_size`` lanes executing a kernel in lockstep.
 
@@ -151,6 +146,13 @@ class Warp:
         self._trace = trace
         self._registers: Dict[Value, List[object]] = {}
         self._pdt = compute_postdominator_tree(function)
+        # Scheduler PCs are block indices in function.blocks order — the
+        # same numbering lowering assigns, so both executors agree on
+        # what "minimum PC" means under stack-less policies.
+        self._blocks: List[BasicBlock] = list(function.blocks)
+        self._block_index: Dict[int, int] = {
+            id(block): index for index, block in enumerate(self._blocks)}
+        self._policy = get_policy(config.reconvergence)
         self._steps = 0
 
     # ---- operand access ---------------------------------------------------
@@ -180,36 +182,36 @@ class Warp:
 
     def run(self) -> Iterator[str]:
         all_lanes = tuple(range(len(self.lanes)))
-        stack: List[_StackEntry] = [_StackEntry(self.function.entry, None, all_lanes)]
-        while stack:
-            entry = stack[-1]
-            if entry.rpc is not None and entry.pc is entry.rpc:
-                stack.pop()
-                if self._trace is not None:
+        blocks = self._blocks
+        scheduler = self._policy.scheduler(
+            self._block_index[id(self.function.entry)], all_lanes)
+        while True:
+            pc, mask, merges = scheduler.next()
+            if merges is not None and self._trace is not None:
+                for merge_pc, active in merges:
                     self._trace.reconverge(
-                        self.metrics.cycles, entry.rpc.name,
-                        len(stack[-1].mask) if stack else 0)
-                continue
-            yield from self._execute_block(entry, stack)
+                        self.metrics.cycles, blocks[merge_pc].name, active)
+            if pc is None:
+                return
+            yield from self._execute_block(blocks[pc], mask, scheduler)
             self._steps += 1
             if self._steps > self.config.max_warp_steps:
                 raise SimulationError(
                     f"warp exceeded {self.config.max_warp_steps} block steps; "
                     f"likely non-termination in @{self.function.name}")
 
-    def _execute_block(self, entry: _StackEntry, stack: List[_StackEntry]) -> Iterator[str]:
-        block = entry.pc
-        mask = entry.mask
+    def _execute_block(self, block: BasicBlock, mask: Tuple[int, ...],
+                       scheduler) -> Iterator[str]:
         if self._trace is not None:
             self._trace.exec_block(self.metrics.cycles, block.name, len(mask))
         for instr in block.instructions:
             if isinstance(instr, Phi):
                 continue  # applied on edge transfer
             if isinstance(instr, Branch):
-                self._execute_branch(instr, entry, stack)
+                self._execute_branch(instr, block, mask, scheduler)
                 return
             if isinstance(instr, Ret):
-                stack.pop()
+                scheduler.retire()
                 return
             if isinstance(instr, Call) and instr.is_barrier:
                 self.metrics.record_barrier(self.config.latency.barrier_latency)
@@ -266,25 +268,24 @@ class Warp:
             for lane, value in zip(mask, values):
                 self._write(phi, lane, value)
 
-    def _execute_branch(self, branch: Branch, entry: _StackEntry,
-                        stack: List[_StackEntry]) -> None:
-        block = entry.pc
+    def _execute_branch(self, branch: Branch, block: BasicBlock,
+                        mask: Tuple[int, ...], scheduler) -> None:
         latency = self.config.latency.branch_latency
         profile = self.config.profile_branches
+        index = self._block_index
         if not branch.is_conditional:
             target = branch.true_successor
             self.metrics.record_branch(latency, divergent=False,
                                        block_name=block.name, profile=profile)
             if self._trace is not None:
-                self._trace.branch(self.metrics.cycles, block.name,
-                                   len(entry.mask))
-            self._transfer(block, target, entry.mask)
-            entry.pc = target
+                self._trace.branch(self.metrics.cycles, block.name, len(mask))
+            self._transfer(block, target, mask)
+            scheduler.advance(index[id(target)])
             return
 
         taken: List[int] = []
         not_taken: List[int] = []
-        for lane in entry.mask:
+        for lane in mask:
             cond = self._read(branch.condition, lane)
             if cond is UNDEF:
                 raise SimulationError(f"branch on undef condition: {branch!r}")
@@ -295,29 +296,25 @@ class Warp:
             self.metrics.record_branch(latency, divergent=False,
                                        block_name=block.name, profile=profile)
             if self._trace is not None:
-                self._trace.branch(self.metrics.cycles, block.name,
-                                   len(entry.mask))
-            self._transfer(block, target, entry.mask)
-            entry.pc = target
+                self._trace.branch(self.metrics.cycles, block.name, len(mask))
+            self._transfer(block, target, mask)
+            scheduler.advance(index[id(target)])
             return
 
-        # Divergence: serialize the two sides, reconverge at the IPDOM.
+        # Divergence: the policy decides how the two sides are scheduled
+        # and where (or whether) they reconverge; the rpc hint is the
+        # immediate post-dominator's index, -1 when the sides never
+        # rejoin (multiple rets).
         self.metrics.record_branch(latency, divergent=True,
                                    block_name=block.name, profile=profile)
         if self._trace is not None:
             self._trace.diverge(self.metrics.cycles, block.name,
                                 len(taken), len(not_taken))
         rpc = immediate_postdominator(self._pdt, block)
-        entry.pc = rpc  # entry becomes the reconvergence holder
-        if rpc is None:
-            # No common post-dominator (multiple rets): both sides run to
-            # completion independently and never merge.
-            stack.pop()
-            stack.append(_StackEntry(branch.false_successor, None, tuple(not_taken)))
-            stack.append(_StackEntry(branch.true_successor, None, tuple(taken)))
-        else:
-            stack.append(_StackEntry(branch.false_successor, rpc, tuple(not_taken)))
-            stack.append(_StackEntry(branch.true_successor, rpc, tuple(taken)))
+        scheduler.diverge(index[id(branch.true_successor)],
+                          index[id(branch.false_successor)],
+                          tuple(taken), tuple(not_taken),
+                          -1 if rpc is None else index[id(rpc)])
         self._transfer(block, branch.false_successor, tuple(not_taken))
         self._transfer(block, branch.true_successor, tuple(taken))
 

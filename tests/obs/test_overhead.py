@@ -18,7 +18,7 @@ import repro
 from repro.kernels import build_sb1
 from repro.obs import Tracer, use
 from repro.obs.report import divergence_summary
-from repro.simt import run_kernel
+from repro.simt import MachineConfig, run_kernel
 
 from tests.support import parse
 
@@ -117,7 +117,7 @@ class TestGoldenHeatmapFastPath:
     purely from trace events, so identical numbers here mean the fast
     path emits the exact same event stream."""
 
-    def _summary(self, cfm: bool):
+    def _summary(self, cfm: bool, reconvergence: str = "ipdom"):
         tracer = Tracer()
         with use(tracer):
             case = build_sb1(8)
@@ -125,8 +125,10 @@ class TestGoldenHeatmapFastPath:
                           cfm=cfm)
             args = dict(case.make_buffers(0))
             args.update(case.scalars)
+            machine = MachineConfig(executor="fast",
+                                    reconvergence=reconvergence)
             repro.launch(case.module, case.grid_dim, case.block_dim, args,
-                         kernel=case.kernel, executor="fast",
+                         kernel=case.kernel, machine=machine,
                          trace_label=("cfm" if cfm else "o3") + ":SB1")
         (summary,) = divergence_summary(tracer.events)
         return summary
@@ -141,3 +143,16 @@ class TestGoldenHeatmapFastPath:
 
     def test_sb1_cfm_golden_counts_on_fast_path(self):
         assert self._summary(cfm=True).divergent_branch_executions == 0
+
+    def test_sb1_o3_golden_counts_under_min_pc(self):
+        # SB1's control flow is structured (both branch sides rejoin at
+        # the post-dominator), so the min-PC path list fuses exactly
+        # where the IPDOM stack reconverges: the heatmap golden is
+        # policy-invariant here, and any drift means the min-PC
+        # scheduler grouped lanes differently on a structured kernel.
+        summary = self._summary(cfm=False, reconvergence="min-pc")
+        assert summary.divergent_branch_executions == 8
+        assert summary.branch_executions == 24
+        entry = summary.blocks["entry"]
+        assert entry.divergent_executions == 2
+        assert entry.mean_active_lanes == 8.0

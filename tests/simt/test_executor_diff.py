@@ -1,14 +1,23 @@
-"""Fast-vs-reference executor differential over the difftest corpus.
+"""Executor × reconvergence-policy differential over the difftest corpus.
 
-The fast-path executor's contract is *bit-identical observables*: for
-any kernel the reference interpreter can run, both executors must
-produce the same device memory, the same :class:`~repro.simt.Metrics`
-counters, the same WarpTrace event stream (same events, same order,
-same simulated-cycle timestamps), and therefore the same divergence
-heatmap.  This suite holds them to it across the difftest generator
-corpus — every oracle arm (noopt, -O3, CFM, tail merging, branch
-fusion) of every seed, so melded, unpredicated and speculated control
-flow all pass through both executors.
+Two contracts are held here, across the difftest generator corpus —
+every oracle arm (noopt, -O3, CFM, tail merging, branch fusion) of every
+seed, so melded, unpredicated and speculated control flow all pass
+through every configuration:
+
+* **Executor parity** (bit-identical observables): for any kernel the
+  reference interpreter can run under a given
+  :class:`~repro.simt.MachineConfig`, both executors must produce the
+  same device memory, the same :class:`~repro.simt.Metrics` counters,
+  the same WarpTrace event stream (same events, same order, same
+  simulated-cycle timestamps), and therefore the same divergence
+  heatmap.  This is checked per reconvergence policy.
+
+* **Policy invariance of memory**: device memory must be bit-identical
+  across reconvergence policies ("ipdom" vs "min-pc") — the policy may
+  reorder *when* divergent paths execute but never *what* each lane
+  computes.  Cycle counts and divergence observables are per-policy and
+  deliberately excluded from this comparison.
 
 ``REPRO_EXECUTOR_DIFF_SEEDS`` selects corpus width: tier-1 runs the
 default 10 seeds; the CI perf job sweeps 100.
@@ -26,6 +35,7 @@ from repro.difftest.generator import generate_spec, make_inputs
 from repro.difftest.oracle import ALL_ARMS, _compile_arm
 from repro.obs import Tracer, use
 from repro.obs.report import divergence_summary, render_report
+from repro.simt import RECONVERGENCE_POLICIES, MachineConfig
 
 SEED_COUNT = int(os.environ.get("REPRO_EXECUTOR_DIFF_SEEDS", "10"))
 INPUT_SEEDS = (0, 1)
@@ -41,11 +51,11 @@ def _normalize(event):
     return out
 
 
-def _run_arm_observed(builder, spec, executor):
-    """Launch one compiled arm on one executor; return all observables."""
+def _run_arm_observed(builder, spec, machine):
+    """Launch one compiled arm on one machine; return all observables."""
     tracer = Tracer()
     with use(tracer):
-        with GPU(builder.module, executor=executor) as gpu:
+        with GPU(builder.module, machine) as gpu:
             runs = []
             for input_seed in INPUT_SEEDS:
                 args = make_inputs(spec, input_seed)
@@ -67,34 +77,62 @@ def _run_arm_observed(builder, spec, executor):
 
 
 @pytest.mark.parametrize("seed", range(SEED_COUNT))
-def test_executors_agree_on_generated_kernel(seed):
+def test_executors_and_policies_agree_on_generated_kernel(seed):
     spec = generate_spec(seed)
     for arm in ALL_ARMS:
         report = _compile_arm(arm, spec, None)
         if report.failure is not None or report.builder is None:
             continue  # compile-side failure: not this suite's concern
-        try:
-            reference = _run_arm_observed(report.builder, spec, "reference")
-        except Exception as exc:
-            # The reference arm rejects this kernel (e.g. a runtime
-            # trap); the fast path must reject it identically.
-            with pytest.raises(type(exc)) as excinfo:
-                _run_arm_observed(report.builder, spec, "fast")
-            assert str(excinfo.value) == str(exc), \
-                f"seed {seed} arm {arm}: executors trap differently"
+        per_policy = {}
+        for policy in RECONVERGENCE_POLICIES:
+            ref_machine = MachineConfig(executor="reference",
+                                        reconvergence=policy)
+            fast_machine = MachineConfig(executor="fast",
+                                         reconvergence=policy)
+            try:
+                reference = _run_arm_observed(report.builder, spec,
+                                              ref_machine)
+            except Exception as exc:
+                # The reference arm rejects this kernel (e.g. a runtime
+                # trap); the fast path must reject it identically under
+                # the same policy.
+                with pytest.raises(type(exc)) as excinfo:
+                    _run_arm_observed(report.builder, spec, fast_machine)
+                assert str(excinfo.value) == str(exc), \
+                    (f"seed {seed} arm {arm} policy {policy}: "
+                     f"executors trap differently")
+                per_policy[policy] = None  # trapped
+                continue
+            fast = _run_arm_observed(report.builder, spec, fast_machine)
+            for index, (ref_run, fast_run) in enumerate(
+                    zip(reference["runs"], fast["runs"])):
+                assert fast_run[0] == ref_run[0], \
+                    (f"seed {seed} arm {arm} policy {policy} input {index}: "
+                     f"device memory differs")
+                assert fast_run[1] == ref_run[1], \
+                    (f"seed {seed} arm {arm} policy {policy} input {index}: "
+                     f"metrics differ")
+            assert fast["events"] == reference["events"], \
+                f"seed {seed} arm {arm} policy {policy}: trace streams differ"
+            assert fast["heatmap"] == reference["heatmap"], \
+                f"seed {seed} arm {arm} policy {policy}: heatmaps differ"
+            assert fast["report"] == reference["report"]
+            per_policy[policy] = [run[0] for run in reference["runs"]]
+
+        # Cross-policy contract: every policy traps, or none does — a
+        # lane's instruction stream is policy-invariant, so the first
+        # faulting lane faults under every schedule (possibly with a
+        # different message when several lanes fault).
+        trapped = {p for p, memory in per_policy.items() if memory is None}
+        assert trapped in (set(), set(per_policy)), \
+            f"seed {seed} arm {arm}: only {sorted(trapped)} trapped"
+        if trapped:
             continue
-        fast = _run_arm_observed(report.builder, spec, "fast")
-        for index, (ref_run, fast_run) in enumerate(
-                zip(reference["runs"], fast["runs"])):
-            assert fast_run[0] == ref_run[0], \
-                f"seed {seed} arm {arm} input {index}: device memory differs"
-            assert fast_run[1] == ref_run[1], \
-                f"seed {seed} arm {arm} input {index}: metrics differ"
-        assert fast["events"] == reference["events"], \
-            f"seed {seed} arm {arm}: trace event streams differ"
-        assert fast["heatmap"] == reference["heatmap"], \
-            f"seed {seed} arm {arm}: divergence heatmaps differ"
-        assert fast["report"] == reference["report"]
+        baseline_policy = RECONVERGENCE_POLICIES[0]
+        for policy, memory in per_policy.items():
+            assert memory == per_policy[baseline_policy], \
+                (f"seed {seed} arm {arm}: device memory differs between "
+                 f"{baseline_policy} and {policy}")
 
 
 def test_seed_width_is_env_tunable():

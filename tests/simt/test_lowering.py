@@ -6,7 +6,7 @@ only hits probabilistically: φs that reference themselves or carry
 select-on-undef propagation (the generator seed 130 regression),
 barriers reached under a partial mask, and the program cache's keying —
 identity on re-launch, invalidation on IR mutation, separation by
-latency model.
+latency model and reconvergence policy.
 """
 
 from __future__ import annotations
@@ -202,37 +202,38 @@ entry:
 
 def test_program_cache_returns_identical_object():
     f = _simple_function()
-    latency = MachineConfig().latency
-    assert get_program(f, latency) is get_program(f, latency)
+    machine = MachineConfig()
+    assert get_program(f, machine) is get_program(f, machine)
 
 
 def test_program_cache_detects_in_place_rewrites():
     f = _simple_function()
-    latency = MachineConfig().latency
-    before = get_program(f, latency)
+    machine = MachineConfig()
+    before = get_program(f, machine)
     # In-place operand rewrite, no invalidation call: the fingerprint
     # must catch it on the next lookup.
     add = next(i for b in f.blocks for i in b.instructions
                if i.opcode == Opcode.ADD)
     add.set_operand(1, Constant(I32, 2))
-    after = get_program(f, latency)
+    after = get_program(f, machine)
     assert after is not before
 
 
 def test_invalidate_lowering_forces_relower():
     f = _simple_function()
-    latency = MachineConfig().latency
-    before = get_program(f, latency)
+    machine = MachineConfig()
+    before = get_program(f, machine)
     invalidate_lowering(f)
-    assert get_program(f, latency) is not before
+    assert get_program(f, machine) is not before
 
 
 def test_program_cache_keyed_by_latency_model():
     f = _simple_function()
-    default = MachineConfig().latency
-    custom = LatencyModel()
-    custom.opcode_latency = dict(custom.opcode_latency)
-    custom.opcode_latency[Opcode.ADD] = 6
+    default = MachineConfig()
+    custom_latency = LatencyModel()
+    custom_latency.opcode_latency = dict(custom_latency.opcode_latency)
+    custom_latency.opcode_latency[Opcode.ADD] = 6
+    custom = MachineConfig(latency=custom_latency)
     program_default = get_program(f, default)
     program_custom = get_program(f, custom)
     # Latencies are baked into µops, so the models cannot share programs
@@ -240,6 +241,21 @@ def test_program_cache_keyed_by_latency_model():
     assert program_default is not program_custom
     assert get_program(f, default) is program_default
     assert get_program(f, custom) is program_custom
+
+
+def test_program_cache_keyed_by_reconvergence_policy():
+    # Satellite fix: per-policy lowering state can never alias — two
+    # machines identical but for the policy get separate memo entries
+    # (defensive keying; the programs themselves are policy-independent).
+    f = _simple_function()
+    ipdom = MachineConfig(reconvergence="ipdom")
+    minpc = MachineConfig(reconvergence="min-pc")
+    assert ipdom.program_token() != minpc.program_token()
+    program_ipdom = get_program(f, ipdom)
+    program_minpc = get_program(f, minpc)
+    assert program_ipdom is not program_minpc
+    assert get_program(f, ipdom) is program_ipdom
+    assert get_program(f, minpc) is program_minpc
 
 
 def test_latency_model_changes_simulated_cycles():

@@ -1,0 +1,77 @@
+"""Per-policy cycle/divergence goldens.
+
+Device memory is policy-invariant (held corpus-wide by
+``test_executor_diff``), but cycles, branch executions and divergence
+counters are *per-policy observables*: the IPDOM stack serializes the
+two sides of every divergent branch until the post-dominator, while the
+min-PC path list fuses opportunistically on PC collision.  These
+goldens pin each policy's numbers on two fixed kernels:
+
+* ``UNSTRUCTURED_TAIL`` — a shared tail block that is **not** the
+  post-dominator of the outer branch.  IPDOM cannot merge there (the
+  stack reconverges at the post-dominator only), so the tail executes
+  once per outer side; min-PC fuses the colliding paths and executes it
+  once with the combined mask.  The policies *must* disagree here — if
+  the numbers converge, the min-PC scheduler has stopped fusing.
+
+* ``SB1`` (the paper's Figure-7 kernel) at -O3 — fully structured
+  control flow, where min-PC's fusion points coincide with the IPDOM
+  reconvergence points and the goldens are identical by design.
+
+Both executors must reproduce each golden exactly (the scheduler is
+shared code, so a skew here means an executor bypassed it).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.runner import compile_baseline, execute
+from repro.kernels import ALL_BUILDERS
+from repro.simt import MachineConfig, run_kernel
+
+from tests.support import parse
+
+from tests.simt.test_reconvergence import UNSTRUCTURED_TAIL
+
+EXECUTORS = ("reference", "fast")
+
+#: (cycles, branch executions, divergent branch executions) per policy
+#: for UNSTRUCTURED_TAIL at grid 2 x block 8
+TAIL_GOLDENS = {
+    "ipdom": (1512, 10, 4),
+    "min-pc": (816, 8, 4),
+}
+
+#: same triple for SB1 at block 8, -O3 — identical across policies
+SB1_GOLDEN = (7848, 24, 8)
+
+
+@pytest.mark.parametrize("executor", EXECUTORS)
+@pytest.mark.parametrize("policy", sorted(TAIL_GOLDENS))
+def test_unstructured_tail_golden(policy, executor):
+    f = parse(UNSTRUCTURED_TAIL)
+    machine = MachineConfig(executor=executor, reconvergence=policy)
+    _, metrics = run_kernel(f.module, "tail", 2, 8,
+                            buffers={"p": [-1] * 16}, machine=machine)
+    assert (metrics.cycles, metrics.branches,
+            metrics.divergent_branches) == TAIL_GOLDENS[policy]
+
+
+def test_policies_disagree_on_unstructured_tail():
+    # The whole point of the sweep axis: min-PC merges earlier than the
+    # post-dominator and saves real cycles on unstructured flow.
+    assert TAIL_GOLDENS["min-pc"][0] < TAIL_GOLDENS["ipdom"][0]
+    assert TAIL_GOLDENS["min-pc"][1] < TAIL_GOLDENS["ipdom"][1]
+
+
+@pytest.mark.parametrize("executor", EXECUTORS)
+@pytest.mark.parametrize("policy", sorted(TAIL_GOLDENS))
+def test_sb1_structured_golden(policy, executor):
+    case = ALL_BUILDERS["SB1"](block_size=8)
+    compile_baseline(case)
+    machine = MachineConfig(executor=executor, reconvergence=policy)
+    result = execute(case, machine=machine)
+    metrics = result.metrics
+    assert (metrics.cycles, metrics.branches,
+            metrics.divergent_branches) == SB1_GOLDEN

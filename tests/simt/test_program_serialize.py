@@ -32,6 +32,7 @@ from repro.ir.parser import parse_module
 from repro.simt import (
     GPU,
     PROGRAM_SCHEMA,
+    MachineConfig,
     ProgramDecodeError,
     lower_symbolic,
     materialize_program,
@@ -83,14 +84,15 @@ def test_symbolic_program_round_trips_bit_identical(seed):
 def test_materialized_program_executes_identically(seed):
     """A seeded warm program must be observably identical to the
     reference interpreter (device memory + metrics), arm by arm."""
-    latency = LatencyModel()
+    machine = MachineConfig()
     for arm, spec, builder in _arm_functions(seed):
         function = builder.function
-        wire = json.loads(json.dumps(lower_symbolic(function, latency)))
+        wire = json.loads(json.dumps(lower_symbolic(function,
+                                                    machine.latency)))
         reparsed = parse_module(print_module(builder.module))
         replayed_fn = reparsed.functions[function.name]
         program = materialize_program(wire, replayed_fn)
-        seed_program(replayed_fn, latency, program)
+        seed_program(replayed_fn, machine, program)
 
         args = make_inputs(spec, 0)
         try:

@@ -1,0 +1,324 @@
+"""Unit tests for the pluggable reconvergence policies.
+
+The corpus-wide differential (``test_executor_diff``) holds both
+executors bit-identical under every policy; this file pins down the
+scheduler mechanics themselves — min-PC path fusion, divergent loop
+exits, barriers under a partial mask — plus the policy registry and the
+:class:`~repro.simt.MachineConfig` resolution rules the redesigned
+machine API is built on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import GLOBAL_I32_PTR, ICmpPredicate, KernelBuilder, run_kernel
+from repro.ir import I32
+from repro.simt import (
+    RECONVERGENCE_POLICIES,
+    IPDOMPolicy,
+    MachineConfig,
+    MinPCPolicy,
+    ReconvergencePolicy,
+    get_policy,
+    resolve_machine,
+)
+
+from tests.support import parse
+
+EXECUTORS = ("reference", "fast")
+
+
+def _run_all(module, kernel, buffers, scalars=None, grid=2, block=8):
+    """Run every executor × policy combination; assert executor parity
+    per policy and memory identity across policies; return per-policy
+    ``(outputs, metrics_dict)`` from the fast executor."""
+    per_policy = {}
+    for policy in RECONVERGENCE_POLICIES:
+        results = {}
+        for executor in EXECUTORS:
+            machine = MachineConfig(executor=executor, reconvergence=policy)
+            outputs, metrics = run_kernel(
+                module, kernel, grid, block,
+                buffers={k: list(v) for k, v in buffers.items()},
+                scalars=scalars, machine=machine)
+            results[executor] = (outputs, metrics.as_dict())
+        assert results["fast"] == results["reference"], \
+            f"executors disagree under {policy}"
+        per_policy[policy] = results["fast"]
+    memories = {policy: result[0] for policy, result in per_policy.items()}
+    baseline = memories[RECONVERGENCE_POLICIES[0]]
+    for policy, memory in memories.items():
+        assert memory == baseline, \
+            f"device memory differs between policies ({policy})"
+    return per_policy
+
+
+# ---- scheduler mechanics, driven directly ---------------------------------
+
+
+class TestMinPCScheduler:
+    def test_path_fusion_at_colliding_pc(self):
+        # Diamond: entry(0) -> {1, 2} -> join(3).  Both sides advance to
+        # the join; the collision fuses them into one full-mask path
+        # with exactly one merge notification.
+        s = MinPCPolicy().scheduler(0, (0, 1, 2, 3))
+        pc, mask, merges = s.next()
+        assert (pc, mask, merges) == (0, (0, 1, 2, 3), None)
+        s.diverge(1, 2, (0, 1), (2, 3), 3)
+
+        pc, mask, merges = s.next()
+        assert (pc, mask, merges) == (1, (0, 1), None)
+        s.advance(3)
+
+        pc, mask, merges = s.next()
+        assert (pc, mask, merges) == (2, (2, 3), None)
+        s.advance(3)
+
+        pc, mask, merges = s.next()
+        assert (pc, mask) == (3, (0, 1, 2, 3))
+        assert merges == [(3, 4)]
+        s.retire()
+        assert s.next() == (None, (), None)
+
+    def test_minimum_pc_path_runs_first(self):
+        # After divergence the lower-PC side always steps next, no
+        # matter which side was "taken".
+        s = MinPCPolicy().scheduler(0, (0, 1))
+        s.next()
+        s.diverge(5, 2, (0,), (1,), -1)  # true side has the higher PC
+        pc, mask, _ = s.next()
+        assert (pc, mask) == (2, (1,))
+        s.retire()
+        pc, mask, _ = s.next()
+        assert (pc, mask) == (5, (0,))
+        s.retire()
+        assert s.next()[0] is None
+
+    def test_fused_mask_is_lane_ordered(self):
+        # Fusion merges masks in lane order regardless of path order.
+        s = MinPCPolicy().scheduler(0, (0, 1, 2, 3))
+        s.next()
+        s.diverge(1, 2, (1, 3), (0, 2), 3)
+        s.next()           # path (1, 3) at pc 1
+        s.advance(3)
+        s.next()           # path (0, 2) at pc 2
+        s.advance(3)
+        pc, mask, merges = s.next()
+        assert (pc, mask) == (3, (0, 1, 2, 3))
+        assert merges == [(3, 4)]
+
+    def test_ignores_rpc(self):
+        # Stack-less: the post-dominator hint changes nothing.
+        for rpc in (-1, 7):
+            s = MinPCPolicy().scheduler(0, (0, 1))
+            s.next()
+            s.diverge(1, 2, (0,), (1,), rpc)
+            assert s.next()[0] == 1
+
+
+class TestIPDOMScheduler:
+    def test_reconverges_at_rpc(self):
+        # Diamond under the stack: true side runs first, each side pops
+        # at the rpc, and the holder resumes with the full mask.
+        s = IPDOMPolicy().scheduler(0, (0, 1, 2, 3))
+        s.next()
+        s.diverge(1, 2, (0, 1), (2, 3), 3)
+
+        pc, mask, merges = s.next()
+        assert (pc, mask, merges) == (1, (0, 1), None)
+        s.advance(3)
+
+        pc, mask, merges = s.next()
+        assert (pc, mask) == (2, (2, 3))
+        assert merges == [(3, 2)]  # true side popped into the false side
+        s.advance(3)
+
+        pc, mask, merges = s.next()
+        assert (pc, mask) == (3, (0, 1, 2, 3))
+        assert merges == [(3, 4)]  # false side popped into the holder
+        s.retire()
+        assert s.next() == (None, (), None)
+
+    def test_no_rpc_runs_sides_to_retirement(self):
+        # rpc == -1 (both sides ret): no holder, sides never merge.
+        s = IPDOMPolicy().scheduler(0, (0, 1))
+        s.next()
+        s.diverge(1, 2, (0,), (1,), -1)
+        pc, mask, _ = s.next()
+        assert (pc, mask) == (1, (0,))
+        s.retire()
+        pc, mask, merges = s.next()
+        assert (pc, mask, merges) == (2, (1,), None)
+        s.retire()
+        assert s.next()[0] is None
+
+
+# ---- policy registry ------------------------------------------------------
+
+
+def test_policy_registry():
+    assert RECONVERGENCE_POLICIES == ("ipdom", "min-pc")
+    for name in RECONVERGENCE_POLICIES:
+        policy = get_policy(name)
+        assert isinstance(policy, ReconvergencePolicy)
+        assert policy.name == name
+        assert get_policy(name) is policy  # stateless singleton
+        assert name in repr(policy)
+
+
+def test_unknown_policy_rejected():
+    with pytest.raises(ValueError, match="sdc"):
+        get_policy("sdc")
+    with pytest.raises(ValueError, match="reconvergence"):
+        MachineConfig(reconvergence="sdc")
+
+
+def test_base_policy_is_abstract():
+    with pytest.raises(NotImplementedError):
+        ReconvergencePolicy().scheduler(0, (0,))
+
+
+# ---- MachineConfig identity & resolution ----------------------------------
+
+
+def test_machine_config_hash_and_tokens():
+    a = MachineConfig()
+    b = MachineConfig()
+    assert a == b and hash(a) == hash(b)
+    minpc = MachineConfig(reconvergence="min-pc")
+    assert a != minpc
+    assert a.token() != minpc.token()
+    assert a.program_token() != minpc.program_token()
+    # The executor is an observable field but not a lowering input:
+    # both executors share one program entry per (latency, policy).
+    reference = MachineConfig(executor="reference")
+    assert a.token() != reference.token()
+    assert a.program_token() == reference.program_token()
+
+
+def test_resolve_machine_rejects_duplicated_fields():
+    machine = MachineConfig()
+    with pytest.raises(ValueError, match="machine= config wins"):
+        resolve_machine(machine, executor="fast", where="launch")
+    with pytest.raises(ValueError, match="machine= only"):
+        resolve_machine(machine, config=machine, where="launch")
+
+
+def test_resolve_machine_legacy_spellings_warn():
+    custom = MachineConfig(executor="reference")
+    with pytest.warns(DeprecationWarning, match="config=.*deprecated"):
+        assert resolve_machine(config=custom, stacklevel=2) is custom
+    with pytest.warns(DeprecationWarning, match="executor=.*deprecated"):
+        resolved = resolve_machine(executor="reference", stacklevel=2)
+    assert resolved.executor == "reference"
+    with pytest.raises(ValueError, match="unknown executor"):
+        resolve_machine(executor="warp-speed", stacklevel=2)
+
+
+# ---- min-PC end-to-end corners --------------------------------------------
+
+
+DIVERGENT_LOOP = """
+define void @divloop(i32 addrspace(1)* %p) {
+entry:
+  %tid = call i32 @llvm.gpu.tid.x()
+  br label %header
+header:
+  %i = phi i32 [ 0, %entry ], [ %next, %latch ]
+  %acc = phi i32 [ 0, %entry ], [ %acc2, %latch ]
+  %cont = icmp slt i32 %i, %tid
+  br i1 %cont, label %latch, label %exit
+latch:
+  %acc2 = add i32 %acc, %i
+  %next = add i32 %i, 1
+  br label %header
+exit:
+  %bid = call i32 @llvm.gpu.ctaid.x()
+  %bdim = call i32 @llvm.gpu.ntid.x()
+  %base = mul i32 %bid, %bdim
+  %gtid = add i32 %base, %tid
+  %ptr = getelementptr i32, i32 addrspace(1)* %p, i32 %gtid
+  store i32 %acc, i32 addrspace(1)* %ptr
+  ret void
+}
+"""
+
+
+def test_divergent_loop_exit():
+    # Lane ``tid`` iterates ``tid`` times, so one lane leaves the loop
+    # per iteration.  Under min-PC the leavers park at the exit block
+    # (higher PC than the header) and fuse pairwise as each new lane
+    # arrives; the loop keeps priority until every lane is out.
+    f = parse(DIVERGENT_LOOP)
+    per_policy = _run_all(f.module, "divloop", {"p": [-1] * 16})
+    expected = [tid * (tid - 1) // 2 for tid in range(8)] * 2
+    assert per_policy["min-pc"][0]["p"] == expected
+    # Path fusion must not lose or duplicate lanes: every lane retires
+    # exactly once and the loop's trip counts stay per-lane exact.
+    assert per_policy["ipdom"][1]["cycles"] == \
+        per_policy["min-pc"][1]["cycles"]
+
+
+def test_barrier_under_partial_mask():
+    # Only odd lanes reach the barrier inside the branch: under min-PC
+    # the warp must still yield exactly once there and resume with the
+    # partial mask intact (same contract test_lowering pins for ipdom).
+    k = KernelBuilder("part_barrier", params=[("data", GLOBAL_I32_PTR)])
+    tile = k.shared_array("tile", I32, 8)
+    tid = k.thread_id()
+    gtid = k.global_thread_id()
+    odd = k.icmp(ICmpPredicate.NE, k.and_(tid, k.const(1)), k.const(0))
+
+    def then_side():
+        k.store_at(tile, tid, k.mul(tid, k.const(5)))
+        k.barrier()
+
+    k.if_(odd, then_side)
+    k.store_at(k.param("data"), gtid, k.load_at(tile, tid))
+    k.finish()
+    per_policy = _run_all(k.module, "part_barrier", {"data": [0] * 16})
+    assert per_policy["min-pc"][0]["data"] == [0, 5, 0, 15, 0, 25, 0, 35] * 2
+    assert per_policy["min-pc"][1]["barriers"] == \
+        per_policy["ipdom"][1]["barriers"]
+
+
+UNSTRUCTURED_TAIL = """
+define void @tail(i32 addrspace(1)* %p) {
+entry:
+  %tid = call i32 @llvm.gpu.tid.x()
+  %c1 = icmp slt i32 %tid, 4
+  br i1 %c1, label %a, label %b
+a:
+  %c2 = icmp eq i32 %tid, 0
+  br i1 %c2, label %d, label %c
+b:
+  br label %c
+c:
+  %v = mul i32 %tid, 7
+  %bid = call i32 @llvm.gpu.ctaid.x()
+  %bdim = call i32 @llvm.gpu.ntid.x()
+  %base = mul i32 %bid, %bdim
+  %gtid = add i32 %base, %tid
+  %ptr = getelementptr i32, i32 addrspace(1)* %p, i32 %gtid
+  store i32 %v, i32 addrspace(1)* %ptr
+  br label %d
+d:
+  ret void
+}
+"""
+
+
+def test_min_pc_fuses_shared_tail_ipdom_cannot():
+    # Unstructured shape: block c is a shared tail of both outer sides
+    # but NOT the post-dominator of the entry branch (lane 0 skips it).
+    # The IPDOM stack serializes the outer sides, so c executes twice;
+    # min-PC fuses the a->c and b->c paths at c's PC and executes it
+    # once with the combined mask — strictly fewer cycles.  This is the
+    # kernel behind the per-policy goldens (test_policy_goldens).
+    f = parse(UNSTRUCTURED_TAIL)
+    per_policy = _run_all(f.module, "tail", {"p": [-1] * 16})
+    expected = [-1 if tid % 8 == 0 else (tid % 8) * 7 for tid in range(16)]
+    assert per_policy["min-pc"][0]["p"] == expected
+    assert per_policy["min-pc"][1]["cycles"] < \
+        per_policy["ipdom"][1]["cycles"]

@@ -1,11 +1,14 @@
 """The public ``repro`` facade: compile / launch / meld + import hygiene."""
 
+import inspect
 import re
+import warnings
 from pathlib import Path
 
 import pytest
 
 import repro
+from repro._deprecation import reset_warn_registry
 from tests.support import build_diamond
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -94,6 +97,91 @@ class TestLaunch:
         with pytest.raises(TypeError, match="scalar or sequence"):
             repro.launch(make_builder(), grid=1, block=4,
                          args={"data": "oops", "bias": 0})
+
+
+class TestMachineAPI:
+    """The redesigned machine-configuration surface: one ``machine=``
+    argument everywhere, legacy spellings as warning deprecated aliases,
+    duplicated fields rejected with the winning spelling named."""
+
+    ARGS = {"data": [1, 2, 3, 4], "bias": 10}
+
+    def test_facade_exports_machine_vocabulary(self):
+        for name in ("MachineConfig", "ReconvergencePolicy",
+                     "RECONVERGENCE_POLICIES", "EXECUTORS"):
+            assert name in repro.__all__, name
+
+    def test_config_first_signatures(self):
+        # ``machine=`` is the canonical parameter on every launch
+        # surface; the legacy ``executor=`` alias trails it.
+        for fn in (repro.launch, repro.run_kernel):
+            params = list(inspect.signature(fn).parameters)
+            assert "machine" in params, fn
+            assert params.index("machine") < params.index("executor"), fn
+        gpu_params = inspect.signature(repro.GPU.__init__).parameters
+        assert "machine" in gpu_params
+
+    def test_launch_accepts_machine(self):
+        machine = repro.MachineConfig(executor="reference",
+                                      reconvergence="min-pc")
+        result = repro.launch(make_builder(), grid=1, block=4,
+                              args=dict(self.ARGS), machine=machine)
+        assert result.outputs == {"data": [12, 16, 16, 22]}
+
+    def test_machine_plus_legacy_kwarg_rejected(self):
+        with pytest.raises(ValueError, match="machine= config wins"):
+            repro.launch(make_builder(), grid=1, block=4,
+                         args=dict(self.ARGS),
+                         machine=repro.MachineConfig(), executor="fast")
+
+    def test_gpu_plus_machine_kwargs_rejected(self):
+        # The generalized ambiguity check: *any* kwarg duplicating a
+        # MachineConfig the GPU already carries is an error naming the
+        # winning spelling.
+        k = make_builder()
+        with repro.GPU(k.module) as gpu:
+            for kwargs in ({"machine": repro.MachineConfig()},
+                           {"executor": "fast"}):
+                with pytest.raises(ValueError,
+                                   match="GPU already carries its machine"):
+                    repro.launch(k.module, grid=1, block=4,
+                                 args=dict(self.ARGS), gpu=gpu, **kwargs)
+
+    def test_legacy_kwargs_warn_once_per_call_site(self):
+        reset_warn_registry()
+        k = make_builder()
+
+        def legacy_launch():
+            return repro.launch(k, grid=1, block=4, args=dict(self.ARGS),
+                                executor="fast")
+
+        with pytest.warns(DeprecationWarning, match="executor=.*deprecated"):
+            legacy_launch()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            legacy_launch()  # same call site: silent the second time
+        with pytest.warns(DeprecationWarning, match="executor=.*deprecated"):
+            repro.launch(k, grid=1, block=4, args=dict(self.ARGS),
+                         executor="fast")  # fresh call site warns anew
+
+    def test_legacy_spelling_still_works(self):
+        reset_warn_registry()
+        with pytest.warns(DeprecationWarning):
+            result = repro.launch(make_builder(), grid=1, block=4,
+                                  args=dict(self.ARGS), executor="reference")
+        assert result.outputs == {"data": [12, 16, 16, 22]}
+
+    def test_examples_use_only_config_first_api(self):
+        # examples/ are the copy-paste surface: they must not teach the
+        # deprecated spellings.
+        legacy = re.compile(r"\b(executor|config)\s*=")
+        offenders = [
+            str(path.relative_to(REPO_ROOT))
+            for path in sorted((REPO_ROOT / "examples").glob("*.py"))
+            if legacy.search(path.read_text())
+        ]
+        assert not offenders, (
+            f"legacy machine kwargs in examples (use machine=): {offenders}")
 
 
 class TestMeld:
