@@ -1,0 +1,147 @@
+"""Perf-trajectory guard over the committed ``BENCH_*.json`` series.
+
+Each PR that touches executor performance commits a ``BENCH_PR<N>.json``
+(written by ``python -m benchmarks.perf``).  The per-file thresholds
+guard (:mod:`benchmarks.perf.guard`) catches a regression against fixed
+floors; this module catches the slower failure mode — a *trajectory*
+regression, where each PR stays above the floor but the trend decays:
+
+* :func:`discover_bench_files` finds every ``BENCH_PR<N>.json`` in the
+  repo root, ordered by PR number;
+* :func:`extract_series` pulls the comparable headline metrics out of
+  each file (micro speedups by workload, figure-8 simulate/end-to-end
+  speedups, difftest speedup), tolerating schema growth across PRs —
+  a metric absent from an old file is simply absent from its column;
+* :func:`render_history` formats the trend table that
+  ``python -m benchmarks.perf --history`` prints;
+* :func:`check_history` compares the **newest** point of each series
+  against the **best historical** point and fails when the newest has
+  decayed by more than ``max_regression`` (default 25%) — generous
+  enough for machine-to-machine timing noise, tight enough to catch a
+  halved executor.
+
+All stdlib, no timing: the guard reads committed measurements, so CI
+can run it on any machine without re-benchmarking.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: newest-vs-best-historical decay tolerated before --history --check fails
+DEFAULT_MAX_REGRESSION = 0.25
+
+_BENCH_RE = re.compile(r"BENCH_PR(\d+)\.json$")
+
+
+def discover_bench_files(root: Optional[Path] = None
+                         ) -> List[Tuple[int, Path]]:
+    """``(pr_number, path)`` for every BENCH_PR<N>.json, PR-ordered."""
+    root = root if root is not None else Path(".")
+    found = []
+    for path in root.glob("BENCH_PR*.json"):
+        match = _BENCH_RE.match(path.name)
+        if match:
+            found.append((int(match.group(1)), path))
+    return sorted(found)
+
+
+def extract_series(results: Dict[str, object]) -> Dict[str, float]:
+    """The comparable headline metrics of one BENCH file.
+
+    Keys are stable across schema growth; metrics a file does not carry
+    are omitted (not zero-filled), so older files contribute shorter
+    columns rather than fake regressions.
+    """
+    series: Dict[str, float] = {}
+    for row in results.get("micro", []):
+        workload = row.get("workload")
+        speedup = row.get("speedup")
+        if workload is not None and speedup is not None:
+            series[f"micro.{workload}"] = float(speedup)
+    macro = results.get("macro", {})
+    figure8 = macro.get("figure8", {})
+    for key, label in (("simulate_speedup", "figure8.simulate"),
+                       ("end_to_end_speedup", "figure8.end_to_end"),
+                       ("end_to_end_speedup_warm", "figure8.end_to_end_warm")):
+        if key in figure8:
+            series[label] = float(figure8[key])
+    difftest = macro.get("difftest", {})
+    if "speedup" in difftest:
+        series["difftest.speedup"] = float(difftest["speedup"])
+    return series
+
+
+def load_history(root: Optional[Path] = None
+                 ) -> List[Tuple[str, Dict[str, float]]]:
+    """``("PR<N>", series)`` per committed BENCH file, PR-ordered."""
+    history = []
+    for number, path in discover_bench_files(root):
+        with open(path) as handle:
+            results = json.load(handle)
+        history.append((f"PR{number}", extract_series(results)))
+    return history
+
+
+def _metric_names(history: Sequence[Tuple[str, Dict[str, float]]]
+                  ) -> List[str]:
+    names: List[str] = []
+    for _, series in history:
+        for name in series:
+            if name not in names:
+                names.append(name)
+    return names
+
+
+def render_history(history: Sequence[Tuple[str, Dict[str, float]]]) -> str:
+    """The trend table: one metric per row, one committed PR per column."""
+    if not history:
+        return "no BENCH_PR*.json files found"
+    names = _metric_names(history)
+    label_width = max(len("metric"), max(len(n) for n in names))
+    widths = [max(len(label), 8) for label, _ in history]
+    lines = ["perf history (speedup vs reference executor)",
+             "  ".join([f"{'metric':<{label_width}}"]
+                       + [f"{label:>{width}}"
+                          for (label, _), width in zip(history, widths)])]
+    for name in names:
+        cells = []
+        for (_, series), width in zip(history, widths):
+            value = series.get(name)
+            cell = f"{value:.2f}x" if value is not None else "-"
+            cells.append(f"{cell:>{width}}")
+        lines.append("  ".join([f"{name:<{label_width}}"] + cells))
+    return "\n".join(lines)
+
+
+def check_history(history: Sequence[Tuple[str, Dict[str, float]]],
+                  max_regression: float = DEFAULT_MAX_REGRESSION
+                  ) -> List[str]:
+    """Failure messages for metrics whose newest point decayed too far.
+
+    Per metric: newest value vs the best value among *earlier* files.
+    Metrics the newest file does not carry are skipped (a series can
+    end when a measurement is retired), as is everything when fewer
+    than two files exist.
+    """
+    if len(history) < 2:
+        return []
+    newest_label, newest = history[-1]
+    failures = []
+    for name in _metric_names(history[:-1]):
+        if name not in newest:
+            continue
+        best_label, best = max(
+            ((label, series[name]) for label, series in history[:-1]
+             if name in series),
+            key=lambda item: item[1])
+        floor = best * (1.0 - max_regression)
+        if newest[name] < floor:
+            failures.append(
+                f"{name}: {newest_label} at {newest[name]:.2f}x is more "
+                f"than {max_regression:.0%} below the best historical "
+                f"point ({best:.2f}x in {best_label})")
+    return failures

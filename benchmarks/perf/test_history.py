@@ -1,0 +1,161 @@
+"""Tests for the perf-trajectory guard (benchmarks.perf.history).
+
+Pure-data tests: the guard reads committed BENCH files and never times
+anything, so these run in milliseconds.
+"""
+
+import json
+
+from .history import (
+    DEFAULT_MAX_REGRESSION,
+    check_history,
+    discover_bench_files,
+    extract_series,
+    load_history,
+    render_history,
+)
+
+
+def bench_payload(micro_speedup=5.0, simulate=6.0, end_to_end=1.4,
+                  warm=None, difftest=1.3):
+    figure8 = {"simulate_speedup": simulate,
+               "end_to_end_speedup": end_to_end}
+    if warm is not None:
+        figure8["end_to_end_speedup_warm"] = warm
+    return {
+        "schema": "repro.benchmarks.perf/1",
+        "micro": [{"workload": "int_alu", "opcode_class": "compute2-int",
+                   "speedup": micro_speedup, "executors": {}}],
+        "macro": {"figure8": figure8,
+                  "difftest": {"speedup": difftest, "seeds": 4,
+                               "executors": {}}},
+    }
+
+
+def write_bench(root, number, payload):
+    path = root / f"BENCH_PR{number}.json"
+    path.write_text(json.dumps(payload))
+    return path
+
+
+class TestDiscoveryAndExtraction:
+    def test_discover_orders_by_pr_number(self, tmp_path):
+        write_bench(tmp_path, 10, bench_payload())
+        write_bench(tmp_path, 2, bench_payload())
+        (tmp_path / "BENCH_notes.json").write_text("{}")
+        found = discover_bench_files(tmp_path)
+        assert [number for number, _ in found] == [2, 10]
+
+    def test_extract_series_headline_metrics(self):
+        series = extract_series(bench_payload(warm=7.0))
+        assert series == {
+            "micro.int_alu": 5.0,
+            "figure8.simulate": 6.0,
+            "figure8.end_to_end": 1.4,
+            "figure8.end_to_end_warm": 7.0,
+            "difftest.speedup": 1.3,
+        }
+
+    def test_missing_metrics_are_omitted_not_zeroed(self):
+        series = extract_series(bench_payload())  # no warm measurement
+        assert "figure8.end_to_end_warm" not in series
+
+    def test_committed_bench_files_load(self):
+        # The real repo history: PR5 and PR6 are committed at the root.
+        history = load_history()
+        labels = [label for label, _ in history]
+        assert "PR5" in labels and "PR6" in labels
+        for _, series in history:
+            assert "figure8.simulate" in series
+
+
+class TestRenderHistory:
+    def test_table_has_one_column_per_pr(self, tmp_path):
+        write_bench(tmp_path, 1, bench_payload(micro_speedup=4.0))
+        write_bench(tmp_path, 2, bench_payload(micro_speedup=5.0))
+        table = render_history(load_history(tmp_path))
+        assert "PR1" in table and "PR2" in table
+        assert "micro.int_alu" in table
+        assert "4.00x" in table and "5.00x" in table
+
+    def test_absent_points_render_as_dash(self, tmp_path):
+        write_bench(tmp_path, 1, bench_payload())
+        write_bench(tmp_path, 2, bench_payload(warm=7.0))
+        table = render_history(load_history(tmp_path))
+        (warm_row,) = [line for line in table.splitlines()
+                       if line.startswith("figure8.end_to_end_warm")]
+        assert "-" in warm_row and "7.00x" in warm_row
+
+    def test_empty_history_renders_message(self, tmp_path):
+        assert "no BENCH" in render_history(load_history(tmp_path))
+
+
+class TestCheckHistory:
+    def test_flat_trajectory_passes(self, tmp_path):
+        write_bench(tmp_path, 1, bench_payload())
+        write_bench(tmp_path, 2, bench_payload())
+        assert check_history(load_history(tmp_path)) == []
+
+    def test_noise_within_tolerance_passes(self, tmp_path):
+        write_bench(tmp_path, 1, bench_payload(micro_speedup=5.0))
+        write_bench(tmp_path, 2, bench_payload(
+            micro_speedup=5.0 * (1 - DEFAULT_MAX_REGRESSION) + 0.01))
+        assert check_history(load_history(tmp_path)) == []
+
+    def test_decay_beyond_tolerance_fails(self, tmp_path):
+        write_bench(tmp_path, 1, bench_payload(micro_speedup=5.0))
+        write_bench(tmp_path, 2, bench_payload(micro_speedup=2.0))
+        failures = check_history(load_history(tmp_path))
+        assert len(failures) == 1
+        assert "micro.int_alu" in failures[0]
+        assert "PR2" in failures[0] and "PR1" in failures[0]
+
+    def test_newest_compares_against_best_not_previous(self, tmp_path):
+        # A slow decay: each step within tolerance of its predecessor,
+        # but the newest point is far below the *best* — must fail.
+        write_bench(tmp_path, 1, bench_payload(micro_speedup=5.0))
+        write_bench(tmp_path, 2, bench_payload(micro_speedup=4.0))
+        write_bench(tmp_path, 3, bench_payload(micro_speedup=3.2))
+        failures = check_history(load_history(tmp_path))
+        assert failures and "best historical" in failures[0]
+
+    def test_retired_metric_is_skipped(self, tmp_path):
+        write_bench(tmp_path, 1, bench_payload(warm=7.0))
+        payload = bench_payload()  # newest file dropped the warm series
+        write_bench(tmp_path, 2, payload)
+        assert check_history(load_history(tmp_path)) == []
+
+    def test_single_file_never_fails(self, tmp_path):
+        write_bench(tmp_path, 1, bench_payload())
+        assert check_history(load_history(tmp_path)) == []
+
+    def test_custom_tolerance(self, tmp_path):
+        write_bench(tmp_path, 1, bench_payload(micro_speedup=5.0))
+        write_bench(tmp_path, 2, bench_payload(micro_speedup=4.0))
+        assert check_history(load_history(tmp_path),
+                             max_regression=0.25) == []
+        assert check_history(load_history(tmp_path), max_regression=0.1)
+
+    def test_committed_history_passes_the_guard(self):
+        """CI runs this against the real BENCH_PR*.json series."""
+        assert check_history(load_history()) == []
+
+
+class TestCli:
+    def test_history_flag_renders_and_checks(self, tmp_path, capsys):
+        from .__main__ import main
+        write_bench(tmp_path, 1, bench_payload())
+        write_bench(tmp_path, 2, bench_payload())
+        assert main(["--history", "--check",
+                     "--bench-root", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "perf history" in out
+        assert "guard passed" in out
+
+    def test_history_check_exits_nonzero_on_decay(self, tmp_path, capsys):
+        from .__main__ import main
+        write_bench(tmp_path, 1, bench_payload(micro_speedup=5.0))
+        write_bench(tmp_path, 2, bench_payload(micro_speedup=1.0))
+        assert main(["--history", "--check",
+                     "--bench-root", str(tmp_path)]) == 1
+        assert "PERF HISTORY GUARD FAILED" in capsys.readouterr().err

@@ -28,7 +28,9 @@ Internal layout:
 * :mod:`repro.lint` — divergence-aware static diagnostics (barrier
   divergence, shared-memory races, meld legality) with a CLI;
 * :mod:`repro.obs` — span-based tracing (compile passes, melding
-  decisions, warp divergence) behind :func:`repro.trace`.
+  decisions, warp divergence) behind :func:`repro.trace`, plus the
+  aggregate-metrics registry (counters/gauges/histograms with
+  Prometheus exposition) behind :func:`repro.collect_metrics`.
 """
 
 __version__ = "1.1.0"
@@ -147,10 +149,15 @@ from repro.facade import (
 # import binds the (callable) module object as the ``lint`` attribute.
 from repro import lint
 from repro.obs import (
+    MetricsRegistry,
+    NULL_REGISTRY,
     NullTracer,
     Tracer,
+    collect_metrics,
+    current_registry,
     current_tracer,
     trace,
+    use_registry,
 )
 
 __all__ = [
@@ -159,6 +166,8 @@ __all__ = [
     "CompileReport", "LaunchResult", "COMPILE_LEVELS",
     # observability (repro.obs)
     "trace", "Tracer", "NullTracer", "current_tracer",
+    "MetricsRegistry", "NULL_REGISTRY", "current_registry",
+    "use_registry", "collect_metrics",
     # IR essentials
     "Function", "Module", "I1", "I32", "ICmpPredicate",
     "print_function", "print_module", "parse_function", "parse_module",

@@ -51,7 +51,12 @@ from repro._deprecation import warn_once
 from repro.core import CFMConfig, CFMStats, MeldRecord
 from repro.ir import print_module
 from repro.ir.parser import parse_module
-from repro.obs import current_tracer, emit_pass_timing
+from repro.obs import (
+    current_tracer,
+    emit_pass_timing,
+    record_cache_eviction,
+    record_cache_lookup,
+)
 from repro.obs.decisions import MeldingDecision
 from repro.obs.passes import pass_timing_events
 from repro.obs.tracer import COMPILE_PID
@@ -350,6 +355,7 @@ class CompileCache:
         program = self._seed(payload, module, machine)
         self._entries[key] = payload  # promote disk hits to memory
         self.hits += 1
+        record_cache_lookup(True, source=source)
         tracer = current_tracer()
         if tracer.enabled:
             tracer.instant("compile-cache:hit", cat="compile",
@@ -426,6 +432,7 @@ class CompileCache:
 
     def _miss(self, key: CacheKey) -> None:
         self.misses += 1
+        record_cache_lookup(False)
         tracer = current_tracer()
         if tracer.enabled:
             tracer.instant("compile-cache:miss", cat="compile",
@@ -436,6 +443,7 @@ class CompileCache:
     def _evict(self, key: CacheKey) -> None:
         if self._entries.pop(key, None) is not None:
             self.evictions += 1
+            record_cache_eviction()
         if self.disk is not None:
             self.disk.evict(key)
 

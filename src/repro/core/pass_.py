@@ -26,6 +26,7 @@ from repro.obs import (
     MeldingDecision,
     current_tracer,
     emit_decisions,
+    record_cfm_decisions,
 )
 from repro.transforms.dce import eliminate_dead_code
 from repro.transforms.simplifycfg import (
@@ -140,6 +141,7 @@ class CFMPass(Pass):
         stats.seconds = time.perf_counter() - start
         self.stats = stats
         emit_decisions(stats.decisions, current_tracer())
+        record_cfm_decisions(stats.decisions)
         return PassResult(changed=stats.changed, stats=stats)
 
 

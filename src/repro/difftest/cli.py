@@ -23,7 +23,13 @@ import time
 from pathlib import Path
 from typing import List, Optional, Sequence
 
-from repro.obs import Tracer, use as use_tracer
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    current_registry,
+    use as use_tracer,
+    use_registry,
+)
 from repro.simt import RECONVERGENCE_POLICIES, MachineConfig
 
 from .bugs import BUGS, inject
@@ -69,6 +75,10 @@ def _parse_args(argv: Optional[Sequence[str]]) -> argparse.Namespace:
                         help="run the whole campaign under a repro.obs "
                              "tracer and write Chrome trace JSON here "
                              "(loads in Perfetto; slows the fuzz loop)")
+    parser.add_argument("--metrics", type=Path, default=None, metavar="FILE",
+                        help="run under a repro.obs metrics registry and "
+                             "write the campaign's aggregate metrics here "
+                             "as Prometheus text exposition")
     parser.add_argument("--quiet", action="store_true",
                         help="only print the final summary")
     args = parser.parse_args(argv)
@@ -93,15 +103,25 @@ def run_campaign(argv: Optional[Sequence[str]] = None) -> int:
     if bug_scope is not None:
         bug_scope.__enter__()
     tracer = Tracer() if args.trace is not None else None
+    registry = MetricsRegistry() if args.metrics is not None else None
     try:
+        if tracer is not None and registry is not None:
+            with use_tracer(tracer), use_registry(registry):
+                return _campaign_body(args, arms, input_seeds, deadline)
         if tracer is not None:
             with use_tracer(tracer):
+                return _campaign_body(args, arms, input_seeds, deadline)
+        if registry is not None:
+            with use_registry(registry):
                 return _campaign_body(args, arms, input_seeds, deadline)
         return _campaign_body(args, arms, input_seeds, deadline)
     finally:
         if tracer is not None:
             tracer.write(str(args.trace))
             print(f"wrote {args.trace} ({len(tracer.events)} trace events)")
+        if registry is not None:
+            registry.write_prom(str(args.metrics))
+            print(f"wrote {args.metrics}")
         if bug_scope is not None:
             bug_scope.__exit__(None, None, None)
 
@@ -142,6 +162,23 @@ def _campaign_body(args: argparse.Namespace, arms: Sequence[str],
         seed += 1
 
     elapsed = time.perf_counter() - start
+    registry = current_registry()
+    if registry.enabled:
+        registry.counter("repro_difftest_seeds_total",
+                         "Generator seeds run through the oracle").inc(tested)
+        registry.counter("repro_difftest_melds_total",
+                         "Melds applied across all oracle arms"
+                         ).inc(total_melds)
+        failures_by_arm = registry.counter(
+            "repro_difftest_failures_total",
+            "Oracle failures by the arm that disagreed")
+        for verdict in failing:
+            for failure in verdict.failures:
+                failures_by_arm.labels(arm=failure.arm).inc()
+        if elapsed > 0:
+            registry.gauge("repro_difftest_seeds_per_second",
+                           "Campaign fuzzing throughput"
+                           ).set(tested / elapsed)
     mismatches = sum(v.mismatches for v in failing)
     verifier_failures = sum(v.verifier_failures for v in failing)
     lint_failures = sum(v.lint_failures for v in failing)

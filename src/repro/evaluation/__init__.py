@@ -15,15 +15,18 @@ from .runner import (
 )
 from .parallel import (
     ParallelRunner,
+    ProgressCallback,
     SweepError,
     SweepTask,
     TaskResult,
     run_task,
     run_tasks,
 )
+from .progress import ProgressLine
 from .trace import (
     SWEEP_TRACE_SCHEMA,
     SWEEP_TRACE_SCHEMA_V1,
+    SWEEP_TRACE_SCHEMA_V2,
     SweepTraceCollector,
     TRACE_EVENT_POLICIES,
     load_sweep_trace,
@@ -61,9 +64,11 @@ __all__ = [
     "CacheHit", "Comparison", "CompileCache", "CompileResult", "RunResult",
     "cfm_pipeline_id", "compare",
     "compile_baseline", "compile_cfm", "execute", "geomean",
-    "ParallelRunner", "SweepError", "SweepTask", "TaskResult",
+    "ParallelRunner", "ProgressCallback", "ProgressLine",
+    "SweepError", "SweepTask", "TaskResult",
     "run_task", "run_tasks",
-    "SWEEP_TRACE_SCHEMA", "SWEEP_TRACE_SCHEMA_V1", "SweepTraceCollector",
+    "SWEEP_TRACE_SCHEMA", "SWEEP_TRACE_SCHEMA_V1", "SWEEP_TRACE_SCHEMA_V2",
+    "SweepTraceCollector",
     "TRACE_EVENT_POLICIES", "load_sweep_trace",
     "pass_trace_events", "write_pass_trace_jsonl",
     "CapabilityRow", "CompileTimeRow", "CounterRow",

@@ -14,11 +14,16 @@ compilation instead of redoing it.
 
 A machine-readable ``sweep_trace.json`` (per-config pass timings, cache
 stats, full metrics — see ``docs/evaluation.md``) is written alongside
-the report unless ``--no-trace`` is given.  Schema v2 embeds Chrome
+the report unless ``--no-trace`` is given.  Schema v3 embeds Chrome
 trace events (compile-pass spans, melding decisions, per-warp divergence
 timelines) for the tasks selected by ``--trace-events`` — the file loads
 directly in Perfetto, and ``python -m repro.obs report sweep_trace.json``
-renders its divergence heatmaps.
+renders its divergence heatmaps — plus the run's aggregate-metrics
+snapshot under a top-level ``"metrics"`` key.
+
+``--metrics FILE`` additionally writes that snapshot as Prometheus text
+exposition (scrapeable / pushable to a Pushgateway); ``--progress``
+paints a live per-sweep status line on stderr.
 """
 
 from __future__ import annotations
@@ -30,6 +35,7 @@ import time
 from typing import Optional, Sequence
 
 from repro.kernels import REAL_WORLD_BUILDERS, SYNTHETIC_BUILDERS
+from repro.obs import MetricsRegistry, NULL_REGISTRY, use_registry
 from repro.simt import RECONVERGENCE_POLICIES, MachineConfig
 
 from .experiments import (
@@ -41,6 +47,7 @@ from .experiments import (
     table1,
     table2,
 )
+from .progress import ProgressLine
 from .reporting import (
     format_counters,
     format_figure8,
@@ -57,9 +64,13 @@ def build_report(quick: bool = False, workers: int = 1,
                  kernels: Optional[Sequence[str]] = None,
                  trace: Optional[SweepTraceCollector] = None,
                  cache_dir: Optional[str] = None,
-                 reconvergence: Sequence[str] = ("ipdom",)) -> str:
+                 reconvergence: Sequence[str] = ("ipdom",),
+                 progress: bool = False) -> str:
     sections = []
     start = time.perf_counter()
+
+    def progress_line(label: str) -> Optional[ProgressLine]:
+        return ProgressLine(label) if progress else None
 
     for policy in reconvergence:
         if policy not in RECONVERGENCE_POLICIES:
@@ -100,7 +111,8 @@ def build_report(quick: bool = False, workers: int = 1,
             rows7, _ = figure7(block_sizes=synthetic_sizes, workers=workers,
                                timeout=timeout, trace=policy_trace,
                                builders=synthetic, machine=machine,
-                               cache_dir=cache_dir)
+                               cache_dir=cache_dir,
+                               progress=progress_line(f"figure7[{policy}]"))
             sections.append(format_speedups(
                 rows7, f"Figure 7: synthetic benchmark speedups{suffix}"))
 
@@ -111,7 +123,8 @@ def build_report(quick: bool = False, workers: int = 1,
             fig8 = figure8(block_sizes=real_sizes, workers=workers,
                            timeout=timeout, trace=policy_trace,
                            builders=real, machine=machine,
-                           cache_dir=cache_dir)
+                           cache_dir=cache_dir,
+                           progress=progress_line(f"figure8[{policy}]"))
             fig8_rows = fig8.rows
             sections.append(format_figure8(fig8, suffix=suffix))
 
@@ -169,6 +182,12 @@ def main(argv=None) -> int:
                              "size of each kernel)")
     parser.add_argument("--json", metavar="FILE",
                         help="also dump raw speedup/counter data as JSON")
+    parser.add_argument("--metrics", metavar="FILE",
+                        help="write the run's aggregate-metrics snapshot "
+                             "here as Prometheus text exposition")
+    parser.add_argument("--progress", action="store_true",
+                        help="paint a live per-sweep status line (rows/s, "
+                             "ETA) on stderr while the figures run")
     parser.add_argument("--reconvergence", metavar="P1,P2,...",
                         default="ipdom",
                         help="comma-separated reconvergence policies to "
@@ -227,9 +246,16 @@ def main(argv=None) -> int:
             json.dump(payload, handle, indent=2)
         print(f"wrote {args.json}")
 
-    report = build_report(quick=args.quick, workers=args.workers,
-                          timeout=args.timeout, kernels=kernels, trace=trace,
-                          cache_dir=cache_dir, reconvergence=reconvergence)
+    # Aggregate metrics ride along whenever there is somewhere to put
+    # them: the --metrics file and/or the sweep trace's "metrics" key.
+    registry = (MetricsRegistry() if args.metrics or trace is not None
+                else NULL_REGISTRY)
+    with use_registry(registry):
+        report = build_report(quick=args.quick, workers=args.workers,
+                              timeout=args.timeout, kernels=kernels,
+                              trace=trace, cache_dir=cache_dir,
+                              reconvergence=reconvergence,
+                              progress=args.progress)
     if args.out:
         with open(args.out, "w") as handle:
             handle.write(report)
@@ -237,7 +263,13 @@ def main(argv=None) -> int:
     else:
         print(report)
 
+    if args.metrics:
+        registry.write_prom(args.metrics)
+        print(f"wrote {args.metrics}")
+
     if trace is not None:
+        if registry.enabled:
+            trace.metrics = registry.snapshot()
         trace_path = args.trace or os.path.join(
             os.path.dirname(args.out) if args.out else ".",
             "sweep_trace.json")

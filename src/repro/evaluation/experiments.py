@@ -26,7 +26,15 @@ from repro.transforms import (
     speculate_hammocks,
 )
 
-from .parallel import ParallelRunner, SweepError, SweepTask, TaskResult
+from repro.obs import current_registry
+
+from .parallel import (
+    ParallelRunner,
+    ProgressCallback,
+    SweepError,
+    SweepTask,
+    TaskResult,
+)
 from .runner import Comparison, compare, compile_baseline, compile_cfm, execute, geomean
 from .trace import SweepTraceCollector
 
@@ -72,6 +80,7 @@ def run_sweep(
     trace: Optional[SweepTraceCollector] = None,
     trace_section: str = "sweep",
     cache_dir: Optional[str] = None,
+    progress: Optional[ProgressCallback] = None,
 ) -> List[SpeedupRow]:
     """Run every (kernel, block size) comparison through the sweep engine.
 
@@ -89,16 +98,25 @@ def run_sweep(
     tasks additionally capture Chrome trace events ("first" = the first
     block size of each kernel, "all", or "off"); captured events are
     merged into the collector's Perfetto-loadable ``traceEvents``.
+
+    ``progress`` (e.g. a :class:`~repro.evaluation.progress.ProgressLine`)
+    is called after each terminal task with ``(done, total, result)``.
+    When the ambient :func:`~repro.obs.current_registry` is enabled,
+    every task collects an aggregate-metrics delta and the runner folds
+    them into that registry.
     """
     policy = trace.policy if trace is not None else "off"
+    collect = current_registry().enabled
     tasks = [SweepTask(kernel=name, builder=builder, block_size=block_size,
                        grid_dim=grid_dim, seed=seed, config=config,
                        machine=machine, cache_dir=cache_dir,
                        trace=(policy == "all"
-                              or (policy == "first" and position == 0)))
+                              or (policy == "first" and position == 0)),
+                       metrics=collect)
              for name, builder in builders.items()
              for position, block_size in enumerate(block_sizes[name])]
-    results = ParallelRunner(workers=workers, timeout=timeout).run(tasks)
+    results = ParallelRunner(workers=workers, timeout=timeout).run(
+        tasks, progress=progress)
     if trace is not None:
         trace.record(trace_section, results)
     failures = [r for r in results if not r.ok]
@@ -131,6 +149,7 @@ def figure7(seed: int = DEFAULT_SEED,
             builders: Optional[Dict[str, Callable[..., KernelCase]]] = None,
             machine: Optional[MachineConfig] = None,
             cache_dir: Optional[str] = None,
+            progress: Optional[ProgressCallback] = None,
             ) -> Tuple[List[SpeedupRow], float]:
     """Synthetic benchmark speedups and their geomean (paper: 1.32×)."""
     sizes = block_sizes or SYNTHETIC_BLOCK_SIZES
@@ -138,7 +157,7 @@ def figure7(seed: int = DEFAULT_SEED,
     rows = run_sweep(selected, {n: sizes for n in selected},
                      seed=seed, machine=machine, workers=workers,
                      timeout=timeout, trace=trace, trace_section="figure7",
-                     cache_dir=cache_dir)
+                     cache_dir=cache_dir, progress=progress)
     return rows, geomean([r.speedup for r in rows])
 
 
@@ -162,6 +181,7 @@ def figure8(seed: int = DEFAULT_SEED,
             builders: Optional[Dict[str, Callable[..., KernelCase]]] = None,
             machine: Optional[MachineConfig] = None,
             cache_dir: Optional[str] = None,
+            progress: Optional[ProgressCallback] = None,
             ) -> Figure8Result:
     """Real-benchmark speedups, geomean, and the paper's '+'-marked
     best-baseline-block-size analysis (paper: GM 1.15×, GM-best higher)."""
@@ -170,7 +190,7 @@ def figure8(seed: int = DEFAULT_SEED,
     rows = run_sweep(selected, {n: sizes[n] for n in selected}, seed=seed,
                      machine=machine, workers=workers, timeout=timeout,
                      trace=trace, trace_section="figure8",
-                     cache_dir=cache_dir)
+                     cache_dir=cache_dir, progress=progress)
 
     best_block: Dict[str, int] = {}
     for kernel in {r.kernel for r in rows}:

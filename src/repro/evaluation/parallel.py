@@ -37,13 +37,26 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core import CFMConfig
 from repro.kernels.common import KernelCase
-from repro.obs import Tracer, use as use_tracer
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    bridge_to_tracer,
+    current_registry,
+    record_task_seconds,
+    update_cache_hit_ratio,
+    use as use_tracer,
+    use_registry,
+)
 from repro.simt import MachineConfig
 
 from .runner import Comparison, CompileCache, compare
 
 #: forcibly terminated / crashed tasks are retried this many times
 DEFAULT_RETRIES = 1
+
+#: callback invoked after each terminal task result:
+#: ``progress(done, total, result)``
+ProgressCallback = Callable[[int, int, "TaskResult"], None]
 
 
 @dataclass(frozen=True)
@@ -66,6 +79,11 @@ class SweepTask:
     #: falls back to the REPRO_COMPILE_CACHE environment variable
     #: (unset/"off" → per-task in-process cache only)
     cache_dir: Optional[str] = None
+    #: collect an aggregate-metrics delta for this task (a fresh
+    #: repro.obs.MetricsRegistry installed for the task's duration; its
+    #: snapshot rides back on TaskResult.metrics_delta so the parent can
+    #: fold worker deltas into one sweep-level registry)
+    metrics: bool = False
 
 
 @dataclass
@@ -86,6 +104,12 @@ class TaskResult:
     compile_cache_disk: Optional[Dict[str, int]] = None
     #: Chrome trace events captured when SweepTask.trace was set
     trace_events: Optional[List[Dict[str, object]]] = None
+    #: aggregate-metrics snapshot of this task's registry (see
+    #: SweepTask.metrics); on a crashed task this still carries whatever
+    #: was flushed before the failure, so partial telemetry survives
+    metrics_delta: Optional[Dict[str, object]] = None
+    #: the task's process raised (or died) instead of reporting cleanly
+    crashed: bool = False
 
     @property
     def ok(self) -> bool:
@@ -109,7 +133,27 @@ def run_task(task: SweepTask, index: int = 0, attempts: int = 1) -> TaskResult:
     With ``task.trace`` set the comparison runs under a fresh
     :class:`~repro.obs.Tracer` (installed for this task only) and the
     captured events ride back on :attr:`TaskResult.trace_events`.
+
+    With ``task.metrics`` set the comparison additionally runs under a
+    fresh :class:`~repro.obs.MetricsRegistry`; its snapshot rides back
+    on :attr:`TaskResult.metrics_delta`.  If the task raises, the
+    partial snapshot is attached to the exception
+    (``exc._metrics_delta``) so crash handlers can still report it.
     """
+    if not task.metrics:
+        return _task_body(task, index, attempts)
+    registry = MetricsRegistry()
+    try:
+        with use_registry(registry):
+            result = _task_body(task, index, attempts)
+    except BaseException as exc:  # noqa: BLE001 — annotate and re-raise
+        exc._metrics_delta = registry.snapshot()
+        raise
+    result.metrics_delta = registry.snapshot()
+    return result
+
+
+def _task_body(task: SweepTask, index: int, attempts: int) -> TaskResult:
     if task.cache_dir is not None:
         cache = CompileCache(disk=task.cache_dir)
     else:
@@ -122,16 +166,19 @@ def run_task(task: SweepTask, index: int = 0, attempts: int = 1) -> TaskResult:
                 task.builder, task.block_size, grid_dim=task.grid_dim,
                 seed=task.seed, config=task.config, machine=task.machine,
                 name=task.kernel, cache=cache, collect_ir_stats=True)
+            # Counter tracks next to the task's spans in Perfetto.
+            bridge_to_tracer(current_registry(), tracer)
         events = list(tracer.events)
     else:
         comparison = compare(
             task.builder, task.block_size, grid_dim=task.grid_dim,
             seed=task.seed, config=task.config, machine=task.machine,
             name=task.kernel, cache=cache, collect_ir_stats=True)
+    seconds = time.perf_counter() - start
+    record_task_seconds(seconds)
     return TaskResult(
         index=index, kernel=task.kernel, block_size=task.block_size,
-        comparison=comparison, attempts=attempts,
-        seconds=time.perf_counter() - start,
+        comparison=comparison, attempts=attempts, seconds=seconds,
         compile_cache_hits=cache.hits, compile_cache_misses=cache.misses,
         compile_cache_disk=(cache.disk.counters()
                             if cache.disk is not None else None),
@@ -147,7 +194,11 @@ def _child_main(task: SweepTask, index: int, attempts: int, conn) -> None:
         result = TaskResult(
             index=index, kernel=task.kernel, block_size=task.block_size,
             error=f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}",
-            attempts=attempts, seconds=time.perf_counter() - start)
+            attempts=attempts, seconds=time.perf_counter() - start,
+            # Whatever the task flushed before dying still aggregates —
+            # a crashed worker reports partial telemetry, not nothing.
+            metrics_delta=getattr(exc, "_metrics_delta", None),
+            crashed=True)
     try:
         conn.send(result)
     finally:
@@ -172,10 +223,14 @@ class ParallelRunner:
         self.workers = max(1, int(workers))
         self.timeout = timeout
         self.retries = max(0, int(retries))
+        #: concurrency-slot id -> busy seconds, rebuilt by each run()
+        self._slot_busy: Dict[int, float] = {}
 
     # ---- serial reference path -------------------------------------------
 
-    def _run_serial(self, tasks: Sequence[SweepTask]) -> List[TaskResult]:
+    def _run_serial(self, tasks: Sequence[SweepTask],
+                    progress: Optional[ProgressCallback] = None
+                    ) -> List[TaskResult]:
         results: List[TaskResult] = []
         for index, task in enumerate(tasks):
             attempt = 1
@@ -191,31 +246,54 @@ class ParallelRunner:
                             block_size=task.block_size,
                             error=f"{type(exc).__name__}: {exc}",
                             attempts=attempt,
-                            seconds=time.perf_counter() - start))
+                            seconds=time.perf_counter() - start,
+                            metrics_delta=getattr(exc, "_metrics_delta",
+                                                  None),
+                            crashed=True))
                         break
                     attempt += 1
+            self._slot_busy[0] = (self._slot_busy.get(0, 0.0)
+                                  + results[-1].seconds)
+            if progress is not None:
+                progress(len(results), len(tasks), results[-1])
         return results
 
     # ---- process-per-task path -------------------------------------------
 
-    def _run_parallel(self, tasks: Sequence[SweepTask]) -> List[TaskResult]:
+    def _run_parallel(self, tasks: Sequence[SweepTask],
+                      progress: Optional[ProgressCallback] = None
+                      ) -> List[TaskResult]:
         ctx = _mp_context()
         pending: deque = deque(
             (index, task, 1) for index, task in enumerate(tasks))
-        #: conn -> (process, index, task, attempt, monotonic start)
-        live: Dict[object, Tuple[object, int, SweepTask, int, float]] = {}
+        #: conn -> (process, index, task, attempt, monotonic start, slot)
+        live: Dict[object, Tuple[object, int, SweepTask, int, float, int]] = {}
         results: Dict[int, TaskResult] = {}
+        free_slots = list(range(self.workers - 1, -1, -1))
+
+        def settle(result: Optional[TaskResult]) -> None:
+            if result is not None:
+                results[result.index] = result
+                if progress is not None:
+                    progress(len(results), len(tasks), result)
+
+        def release(slot: int, started: float) -> None:
+            self._slot_busy[slot] = (self._slot_busy.get(slot, 0.0)
+                                     + time.monotonic() - started)
+            free_slots.append(slot)
 
         def fail_or_retry(index: int, task: SweepTask, attempt: int,
-                          message: str, started: float) -> None:
+                          message: str, started: float,
+                          crashed: bool = False) -> None:
             if attempt <= self.retries:
                 pending.appendleft((index, task, attempt + 1))
             else:
-                results[index] = TaskResult(
+                settle(TaskResult(
                     index=index, kernel=task.kernel,
                     block_size=task.block_size, error=message,
                     attempts=attempt,
-                    seconds=time.monotonic() - started)
+                    seconds=time.monotonic() - started,
+                    crashed=crashed))
 
         while pending or live:
             while pending and len(live) < self.workers:
@@ -228,7 +306,7 @@ class ParallelRunner:
                 process.start()
                 child_conn.close()
                 live[parent_conn] = (process, index, task, attempt,
-                                     time.monotonic())
+                                     time.monotonic(), free_slots.pop())
 
             # Wake up either when a worker reports or when the earliest
             # deadline expires.
@@ -237,57 +315,123 @@ class ParallelRunner:
                 now = time.monotonic()
                 wait_for = max(0.0, min(
                     started + self.timeout - now
-                    for (_, _, _, _, started) in live.values()))
+                    for (_, _, _, _, started, _) in live.values()))
             ready = _connection_wait(list(live), timeout=wait_for)
 
             for conn in ready:
-                process, index, task, attempt, started = live.pop(conn)
+                process, index, task, attempt, started, slot = live.pop(conn)
                 try:
                     result = conn.recv()
                 except (EOFError, OSError):
                     result = None
                 conn.close()
                 process.join()
+                release(slot, started)
                 if result is None:
                     fail_or_retry(index, task, attempt,
                                   "worker process died without reporting "
-                                  f"(exit code {process.exitcode})", started)
+                                  f"(exit code {process.exitcode})", started,
+                                  crashed=True)
                 elif result.error is not None and attempt <= self.retries:
                     pending.appendleft((index, task, attempt + 1))
                 else:
-                    results[index] = result
+                    settle(result)
 
             if self.timeout is not None:
                 now = time.monotonic()
                 for conn in list(live):
-                    process, index, task, attempt, started = live[conn]
+                    process, index, task, attempt, started, slot = live[conn]
                     if now - started <= self.timeout:
                         continue
                     del live[conn]
                     process.terminate()
                     process.join()
                     conn.close()
+                    release(slot, started)
                     fail_or_retry(
                         index, task, attempt,
                         f"timed out after {self.timeout:g}s", started)
 
         return [results[index] for index in range(len(tasks))]
 
+    # ---- sweep-level aggregation ------------------------------------------
+
+    def _fold_metrics(self, results: Sequence[TaskResult],
+                      wall_seconds: float) -> None:
+        """Merge worker deltas + runner counters into the ambient registry.
+
+        Deltas merge in task-index order — the same order the serial
+        path produced them in — so an N-worker sweep's merged snapshot
+        is bit-identical to the serial run's (modulo wall-clock-valued
+        samples, which are nondeterministic in any mode).
+        """
+        registry = current_registry()
+        if not registry.enabled or not results:
+            return
+        for result in sorted(results, key=lambda r: r.index):
+            if result.metrics_delta:
+                registry.merge(result.metrics_delta)
+        registry.counter(
+            "repro_eval_tasks_completed_total",
+            "Sweep tasks that produced a comparison"
+        ).inc(sum(1 for r in results if r.ok))
+        registry.counter(
+            "repro_eval_tasks_failed_total",
+            "Sweep tasks that failed after exhausting retries"
+        ).inc(sum(1 for r in results if not r.ok))
+        registry.counter(
+            "repro_eval_tasks_retried_total",
+            "Extra attempts beyond each task's first"
+        ).inc(sum(r.attempts - 1 for r in results))
+        registry.counter(
+            "repro_eval_tasks_timed_out_total",
+            "Task attempts terminated at the wall-clock timeout"
+        ).inc(sum(1 for r in results
+                  if r.error is not None and "timed out" in r.error))
+        registry.counter(
+            "repro_eval_tasks_crashed_total",
+            "Tasks whose process raised or died mid-flight"
+        ).inc(sum(1 for r in results if r.crashed))
+        if wall_seconds > 0:
+            registry.gauge(
+                "repro_eval_rows_per_second",
+                "Completed sweep tasks per wall-clock second"
+            ).set(sum(1 for r in results if r.ok) / wall_seconds)
+            utilization = registry.gauge(
+                "repro_eval_worker_utilization",
+                "Busy seconds / wall seconds, per concurrency slot")
+            for slot in sorted(self._slot_busy):
+                utilization.labels(worker=str(slot)).set(
+                    min(1.0, self._slot_busy[slot] / wall_seconds))
+        # The merged hit ratio, not the last task's.
+        update_cache_hit_ratio(registry)
+
     # ---- public API -------------------------------------------------------
 
-    def run(self, tasks: Sequence[SweepTask]) -> List[TaskResult]:
-        """Run every task; results are ordered by task index."""
+    def run(self, tasks: Sequence[SweepTask],
+            progress: Optional[ProgressCallback] = None) -> List[TaskResult]:
+        """Run every task; results are ordered by task index.
+
+        ``progress`` is called after each terminal result with
+        ``(done, total, result)`` — completion order, not index order.
+        """
         tasks = list(tasks)
         if not tasks:
             return []
+        self._slot_busy = {}
+        start = time.perf_counter()
         if self.workers <= 1:
-            return self._run_serial(tasks)
-        return self._run_parallel(tasks)
+            results = self._run_serial(tasks, progress)
+        else:
+            results = self._run_parallel(tasks, progress)
+        self._fold_metrics(results, time.perf_counter() - start)
+        return results
 
 
 def run_tasks(tasks: Sequence[SweepTask], workers: int = 1,
               timeout: Optional[float] = None,
-              retries: int = DEFAULT_RETRIES) -> List[TaskResult]:
+              retries: int = DEFAULT_RETRIES,
+              progress: Optional[ProgressCallback] = None) -> List[TaskResult]:
     """Convenience wrapper: ``ParallelRunner(...).run(tasks)``."""
     return ParallelRunner(workers=workers, timeout=timeout,
-                          retries=retries).run(tasks)
+                          retries=retries).run(tasks, progress=progress)

@@ -34,7 +34,7 @@ from repro.compile_cache import (
 from repro.core import CFMConfig, CFMStats, run_cfm
 from repro.ir import print_module, verify_function
 from repro.kernels.common import KernelCase
-from repro.obs import current_tracer, emit_pass_timing
+from repro.obs import current_tracer, emit_pass_timing, record_pass_seconds
 from repro.simt import (
     DEFAULT_CONFIG,
     MachineConfig,
@@ -189,6 +189,8 @@ def compile_cfm(case: KernelCase, config: Optional[CFMConfig] = None,
         # The CFM stage runs outside a PassPipeline here, so its span is
         # emitted by hand (the pipeline does this for every other pass).
         emit_pass_timing(cfm_timing, tracer)
+    # Same story for the aggregate pass-seconds histogram.
+    record_pass_seconds(cfm_timing.name, cfm_timing.seconds)
     late = late_pipeline(collect_ir_stats=collect_ir_stats)
     late.run(case.function)
     timings.extend(late.timings)

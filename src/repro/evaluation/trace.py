@@ -19,8 +19,15 @@ decisions, warp divergence timelines).  Because Perfetto ignores unknown
 top-level keys, a v2 ``sweep_trace.json`` loads directly in
 ``ui.perfetto.dev`` / ``chrome://tracing`` *and* stays a structured
 sweep record; ``python -m repro.obs report sweep_trace.json`` renders
-its divergence heatmaps.  :func:`load_sweep_trace` reads both v1 (no
-events) and v2 files.
+its divergence heatmaps.
+
+Schema v3 adds a top-level ``"metrics"`` key: the aggregate-metrics
+snapshot (:meth:`repro.obs.MetricsRegistry.snapshot`) of the whole
+harness run — compile-cache hit rates, per-pass latency histograms,
+divergence distributions, task throughput — folded across every worker
+process.  ``python -m repro.obs metrics sweep_trace.json`` renders it
+as Prometheus text or JSON.  :func:`load_sweep_trace` reads v1, v2 and
+v3 files (older files load with ``"metrics": None``).
 """
 
 from __future__ import annotations
@@ -36,8 +43,10 @@ from repro.transforms import PassTiming
 from .parallel import TaskResult
 
 #: bump when the trace layout changes; consumers key off this
-SWEEP_TRACE_SCHEMA = "repro.evaluation.sweep_trace/v2"
-#: previous layout (no embedded traceEvents); still readable
+SWEEP_TRACE_SCHEMA = "repro.evaluation.sweep_trace/v3"
+#: v2 layout (traceEvents but no aggregate metrics); still readable
+SWEEP_TRACE_SCHEMA_V2 = "repro.evaluation.sweep_trace/v2"
+#: v1 layout (no embedded traceEvents); still readable
 SWEEP_TRACE_SCHEMA_V1 = "repro.evaluation.sweep_trace/v1"
 
 #: task-tracing policies for sweeps: nothing, the first block size of
@@ -126,6 +135,10 @@ class SweepTraceCollector:
     sections: Dict[str, List[Dict[str, object]]] = field(default_factory=dict)
     #: merged Chrome trace events of every traced task (pid-rebased)
     events: List[Dict[str, object]] = field(default_factory=list)
+    #: aggregate-metrics snapshot of the run (schema v3); set by the
+    #: harness after all sections are recorded, None when metrics were
+    #: not collected
+    metrics: Optional[Dict[str, object]] = None
     _next_pid: int = SIM_PID_BASE
 
     def __post_init__(self) -> None:
@@ -185,6 +198,7 @@ class SweepTraceCollector:
             "timeout": self.timeout,
             "task_count": self.task_count,
             "sections": self.sections,
+            "metrics": self.metrics,
             "traceEvents": self.events,
             "displayTimeUnit": "ms",
         }
@@ -196,19 +210,23 @@ class SweepTraceCollector:
 
 
 def load_sweep_trace(path: str) -> Dict[str, object]:
-    """Read a ``sweep_trace.json`` of either schema version.
+    """Read a ``sweep_trace.json`` of any known schema version.
 
-    v1 files are upgraded in memory: the returned dict always carries a
-    ``traceEvents`` list (empty for v1) and reports the file's original
-    schema under ``"schema"``.
+    Older files are upgraded in memory: the returned dict always carries
+    a ``traceEvents`` list (empty for v1) and a ``metrics`` key (None
+    for v1/v2), and reports the file's original schema under
+    ``"schema"``.
     """
     with open(path) as handle:
         data = json.load(handle)
     schema = data.get("schema")
-    if schema not in (SWEEP_TRACE_SCHEMA, SWEEP_TRACE_SCHEMA_V1):
+    if schema not in (SWEEP_TRACE_SCHEMA, SWEEP_TRACE_SCHEMA_V2,
+                      SWEEP_TRACE_SCHEMA_V1):
         raise ValueError(
             f"{path}: unknown sweep-trace schema {schema!r} (readable: "
-            f"{SWEEP_TRACE_SCHEMA_V1}, {SWEEP_TRACE_SCHEMA})")
+            f"{SWEEP_TRACE_SCHEMA_V1}, {SWEEP_TRACE_SCHEMA_V2}, "
+            f"{SWEEP_TRACE_SCHEMA})")
     data.setdefault("traceEvents", [])
     data.setdefault("sections", {})
+    data.setdefault("metrics", None)
     return data

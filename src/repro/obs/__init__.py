@@ -28,6 +28,12 @@ one and optionally write Chrome trace-event JSON on exit)::
 The disabled path is allocation-free: :data:`NULL_TRACER` is a shared
 singleton whose operations are no-ops, and the simulator skips its
 instrumentation entirely when no tracer is enabled.
+
+The *aggregate* view lives in :mod:`repro.obs.metrics`: an ambient
+:class:`MetricsRegistry` of labeled counters/gauges/histograms with the
+same null-singleton discipline (:data:`NULL_REGISTRY`), cross-process
+snapshot/merge semantics, and Prometheus text exposition — see
+``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -49,6 +55,31 @@ from .decisions import (
     MeldingDecision,
     emit_decisions,
 )
+from .metrics import (
+    CYCLES_BUCKETS,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    NullRegistry,
+    RATE_BUCKETS,
+    SECONDS_BUCKETS,
+    SNAPSHOT_SCHEMA,
+    bridge_to_tracer,
+    collect_metrics,
+    current_registry,
+    exponential_buckets,
+    linear_buckets,
+    occupancy_buckets,
+    record_cache_eviction,
+    record_cache_lookup,
+    record_cfm_decisions,
+    record_pass_seconds,
+    record_task_seconds,
+    render_prometheus,
+    runtime_sink,
+    set_registry,
+    update_cache_hit_ratio,
+    use_registry,
+)
 from .passes import emit_pass_timing, pass_timing_event, pass_timing_events
 from .report import (
     BlockStat,
@@ -57,6 +88,8 @@ from .report import (
     load_trace_events,
     render_heatmap,
     render_report,
+    report_json,
+    summary_dict,
 )
 from .runtime import WarpTrace, flush_warp_trace
 
@@ -69,6 +102,14 @@ __all__ = [
     "WarpTrace", "flush_warp_trace",
     "BlockStat", "LaunchSummary", "divergence_summary",
     "load_trace_events", "render_heatmap", "render_report",
+    "report_json", "summary_dict",
+    "MetricsRegistry", "NullRegistry", "NULL_REGISTRY", "SNAPSHOT_SCHEMA",
+    "current_registry", "set_registry", "use_registry", "collect_metrics",
+    "exponential_buckets", "linear_buckets", "occupancy_buckets",
+    "SECONDS_BUCKETS", "CYCLES_BUCKETS", "RATE_BUCKETS",
+    "render_prometheus", "bridge_to_tracer", "runtime_sink",
+    "record_pass_seconds", "record_cache_lookup", "record_cache_eviction",
+    "record_cfm_decisions", "record_task_seconds", "update_cache_hit_ratio",
 ]
 
 #: the ambient tracer every instrumentation site reads

@@ -160,6 +160,44 @@ def render_heatmap(summary: LaunchSummary, min_executions: int = 1) -> str:
     return "\n".join(lines)
 
 
+def summary_dict(summary: LaunchSummary) -> Dict[str, object]:
+    """JSON-ready serialization of one launch's heatmap."""
+    blocks = sorted(summary.blocks.values(),
+                    key=lambda s: (-s.divergent_executions, -s.cycles,
+                                   s.block))
+    return {
+        "pid": summary.pid,
+        "name": summary.name,
+        "branch_executions": summary.branch_executions,
+        "divergent_branch_executions": summary.divergent_branch_executions,
+        "blocks": [
+            {
+                "block": s.block,
+                "executions": s.executions,
+                "branch_executions": s.branch_executions,
+                "divergent_executions": s.divergent_executions,
+                "divergence_rate": s.divergence_rate,
+                "cycles": s.cycles,
+                "mean_active_lanes": s.mean_active_lanes,
+            }
+            for s in blocks
+        ],
+    }
+
+
+def report_json(events: Sequence[dict]) -> Dict[str, object]:
+    """The whole report as one JSON-ready dict (``report --json``).
+
+    Carries exactly the numbers the text heatmaps render — same launch
+    ordering, same per-block stats — so a golden asserted against the
+    text output can be asserted against this too.
+    """
+    return {
+        "schema": "repro.obs.report/v1",
+        "launches": [summary_dict(s) for s in divergence_summary(events)],
+    }
+
+
 def render_report(events: Sequence[dict]) -> str:
     """Heatmaps for every traced launch, plus a cross-launch comparison."""
     summaries = divergence_summary(events)

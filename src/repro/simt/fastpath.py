@@ -33,7 +33,7 @@ by its definition).
 from __future__ import annotations
 
 import time
-from typing import Dict, Iterator, List, Optional, Sequence
+from typing import Callable, Dict, Iterator, List, Optional, Sequence
 
 from repro.ir.values import Argument
 from repro.obs import WarpTrace
@@ -87,6 +87,7 @@ class FastWarp:
         config: MachineConfig,
         metrics: Optional[Metrics] = None,
         trace: Optional[WarpTrace] = None,
+        obs: Optional[Callable[[int], None]] = None,
     ) -> None:
         self.program = program
         self.lanes = list(lane_thread_ids)
@@ -98,6 +99,9 @@ class FastWarp:
         self.metrics = metrics if metrics is not None else Metrics()
         self.metrics.warp_size = config.warp_size
         self._trace = trace
+        # Aggregate-metrics occupancy observer (None when collection is
+        # off — same `is not None` cost contract as _trace).
+        self._obs = obs
         n = len(self.lanes)
         # Flat register file, UNDEF-initialized (shared undef slot included).
         regs: List[List[object]] = [[UNDEF] * n for _ in range(program.num_slots)]
@@ -141,6 +145,7 @@ class FastWarp:
         record_branch = metrics.record_branch
         config = self.config
         trace = self._trace
+        obs = self._obs
         profile = config.profile_branches
         branch_latency = program.branch_latency
         max_steps = config.max_warp_steps
@@ -166,6 +171,8 @@ class FastWarp:
             block = blocks[pc]
             if trace is not None:
                 trace.exec_block(metrics.cycles, block.name, len(mask))
+            if obs is not None:
+                obs(len(mask))
 
             for op in block.ops:
                 kind = op[0]

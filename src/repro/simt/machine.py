@@ -20,7 +20,13 @@ from typing import Dict, Iterable, List, Optional, Sequence, Union
 from repro.ir.function import Function, Module
 from repro.ir.types import IntType, Type, I32
 from repro.ir.values import Argument
-from repro.obs import WarpTrace, current_tracer, flush_warp_trace
+from repro.obs import (
+    WarpTrace,
+    current_registry,
+    current_tracer,
+    flush_warp_trace,
+    runtime_sink,
+)
 
 from .config import MachineConfig, resolve_machine
 from .fastpath import FastWarp
@@ -152,12 +158,24 @@ class GPU:
         if tracer.enabled:
             pid = tracer.next_launch_pid()
             tracer.process_name(pid, trace_label or f"launch:{function.name}")
+        # Aggregate metrics (repro.obs.metrics) mirror the tracer: one
+        # sink per launch when the ambient registry is enabled, None —
+        # and therefore zero per-site work — otherwise.
+        sink = runtime_sink(current_registry(), self.machine.reconvergence,
+                            self.machine.executor, self.config.warp_size)
         total = Metrics(warp_size=self.config.warp_size)
-        for block_id in range(grid_dim):
-            block_metrics = self._run_block(function, block_id, grid_dim,
-                                            block_dim, bound, tracer, pid,
-                                            program)
-            total.merge(block_metrics)
+        try:
+            for block_id in range(grid_dim):
+                block_metrics = self._run_block(function, block_id, grid_dim,
+                                                block_dim, bound, tracer, pid,
+                                                program, sink)
+                total.merge(block_metrics)
+        except SimulationError:
+            if sink is not None:
+                sink.trap()
+            raise
+        if sink is not None:
+            sink.launch_done(total)
         return total
 
     def _bind_args(self, function: Function, args: Dict[str, object]) -> Dict[Argument, object]:
@@ -177,10 +195,12 @@ class GPU:
 
     def _run_block(self, function: Function, block_id: int, grid_dim: int,
                    block_dim: int, args: Dict[Argument, object],
-                   tracer=None, pid: int = 0, program=None) -> Metrics:
+                   tracer=None, pid: int = 0, program=None,
+                   sink=None) -> Metrics:
         view = self.memory.shared_for_block(block_id)
         warp_size = self.config.warp_size
         tracing = tracer is not None and tracer.enabled
+        obs = sink.block if sink is not None else None
         traces: List[WarpTrace] = []
         warps: List[Union[Warp, FastWarp]] = []
         for start in range(0, block_dim, warp_size):
@@ -192,11 +212,11 @@ class GPU:
             if program is not None:
                 warps.append(FastWarp(program, lanes, block_dim, block_id,
                                       grid_dim, args, view, self.config,
-                                      trace=trace))
+                                      trace=trace, obs=obs))
             else:
                 warps.append(Warp(function, lanes, block_dim, block_id,
                                   grid_dim, args, view, self.config,
-                                  trace=trace))
+                                  trace=trace, obs=obs))
 
         generators = [warp.run() for warp in warps]
         active = list(range(len(warps)))
@@ -220,6 +240,8 @@ class GPU:
         block_metrics = Metrics(warp_size=warp_size)
         for warp in warps:
             block_metrics.merge(warp.metrics)
+            if sink is not None:
+                sink.warp_done(warp.metrics)
         if tracing:
             # Deterministic thread ids: warps numbered grid-wide in
             # (block, warp) order, so identical runs emit identical tids.

@@ -130,6 +130,7 @@ class Warp:
         config: MachineConfig,
         metrics: Optional[Metrics] = None,
         trace: Optional[WarpTrace] = None,
+        obs: Optional[Callable[[int], None]] = None,
     ) -> None:
         self.function = function
         self.lanes = list(lane_thread_ids)
@@ -144,6 +145,9 @@ class Warp:
         # Opt-in divergence tracing (repro.obs): None on every untraced
         # launch, so the hot-path cost is one `is not None` per site.
         self._trace = trace
+        # Opt-in aggregate metrics: the launch sink's occupancy observer
+        # (None when collection is off — same cost contract as _trace).
+        self._obs = obs
         self._registers: Dict[Value, List[object]] = {}
         self._pdt = compute_postdominator_tree(function)
         # Scheduler PCs are block indices in function.blocks order — the
@@ -204,6 +208,8 @@ class Warp:
                        scheduler) -> Iterator[str]:
         if self._trace is not None:
             self._trace.exec_block(self.metrics.cycles, block.name, len(mask))
+        if self._obs is not None:
+            self._obs(len(mask))
         for instr in block.instructions:
             if isinstance(instr, Phi):
                 continue  # applied on edge transfer

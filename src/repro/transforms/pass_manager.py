@@ -51,7 +51,7 @@ from repro.analysis.divergence import invalidate_divergence
 from repro.ir.function import Function
 from repro.ir.verifier import verify_function
 from repro.obs import current_tracer, emit_pass_timing, pass_timing_event, \
-    pass_timing_events
+    pass_timing_events, record_pass_seconds
 
 FunctionPass = Callable[[Function], bool]
 
@@ -224,6 +224,7 @@ class PassPipeline:
             self.cumulative_timings.append(timing)
             if tracer.enabled:
                 emit_pass_timing(timing, tracer)
+            record_pass_seconds(timing.name, timing.seconds)
             changed |= result.changed
             if result.changed:
                 # The pass may have rewritten operands in place, which

@@ -1,0 +1,174 @@
+"""Cross-process metrics aggregation through the sweep engine.
+
+The contract under test: an N-worker sweep's merged metrics snapshot is
+**bit-identical** to the serial run's for everything deterministic
+(counter values, histogram bucket counts and sums).  Wall-clock-valued
+metrics (``*_seconds`` histograms, ``*_per_second`` / ``*utilization``
+gauges) are inherently nondeterministic in any mode and are stripped
+before comparison.
+
+Also covered: the worker-crash path (partial delta + ``tasks_crashed``),
+the live progress callback, and ``Metrics.merge``-style rejection of
+mismatched histogram buckets across deltas.
+"""
+
+import json
+
+import pytest
+
+from repro.evaluation.parallel import (
+    ParallelRunner,
+    SweepTask,
+    run_task,
+)
+from repro.kernels import build_sb1, build_sb2
+from repro.obs import MetricsRegistry, use_registry
+
+TASKS = [
+    SweepTask(kernel="SB1", builder=build_sb1, block_size=64, metrics=True),
+    SweepTask(kernel="SB2", builder=build_sb2, block_size=64, metrics=True),
+    SweepTask(kernel="SB1", builder=build_sb1, block_size=32, metrics=True),
+]
+
+#: metric-name fragments whose values depend on wall time
+TIME_DEPENDENT = ("seconds", "per_second", "utilization")
+
+
+def strip_time_dependent(snapshot):
+    """Drop wall-clock-valued metrics; everything left is deterministic."""
+    snapshot = json.loads(json.dumps(snapshot))  # deep copy
+    for kind in ("counters", "gauges", "histograms"):
+        snapshot[kind] = {
+            name: data for name, data in snapshot[kind].items()
+            if not any(fragment in name for fragment in TIME_DEPENDENT)}
+    return snapshot
+
+
+def run_and_snapshot(workers, tasks=TASKS):
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        results = ParallelRunner(workers=workers).run(list(tasks))
+    return results, registry.snapshot()
+
+
+class TestSerialParallelIdentity:
+    def test_two_worker_snapshot_bit_identical_to_serial(self):
+        serial_results, serial = run_and_snapshot(workers=1)
+        parallel_results, parallel = run_and_snapshot(workers=2)
+        assert all(r.ok for r in serial_results)
+        assert all(r.ok for r in parallel_results)
+        assert strip_time_dependent(serial) == strip_time_dependent(parallel)
+
+    def test_three_worker_snapshot_bit_identical_to_serial(self):
+        _, serial = run_and_snapshot(workers=1)
+        _, parallel = run_and_snapshot(workers=3)
+        assert strip_time_dependent(serial) == strip_time_dependent(parallel)
+
+    def test_deterministic_layers_are_nonempty(self):
+        """The identity assertion must not pass vacuously."""
+        _, snapshot = run_and_snapshot(workers=1)
+        stripped = strip_time_dependent(snapshot)
+        assert stripped["counters"], "expected counters to survive stripping"
+        assert stripped["histograms"], "expected occupancy/rate histograms"
+        occupancy = stripped["histograms"]["repro_runtime_active_lanes"]
+        assert any(s["count"] > 0 for s in occupancy["samples"].values())
+
+    def test_task_counters_reflect_outcomes(self):
+        results, snapshot = run_and_snapshot(workers=2)
+        completed = snapshot["counters"]["repro_eval_tasks_completed_total"]
+        assert sum(completed["samples"].values()) == len(results)
+        crashed = snapshot["counters"]["repro_eval_tasks_crashed_total"]
+        assert sum(crashed["samples"].values()) == 0
+
+
+def _boom(**kwargs):
+    raise RuntimeError("builder exploded")
+
+
+class TestCrashPath:
+    def test_crashed_task_reports_partial_delta_and_counter(self):
+        tasks = [
+            SweepTask(kernel="SB1", builder=build_sb1, block_size=32,
+                      metrics=True),
+            SweepTask(kernel="BOOM", builder=_boom, block_size=32,
+                      metrics=True),
+        ]
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            results = ParallelRunner(workers=2, retries=0).run(tasks)
+        assert results[0].ok
+        assert not results[1].ok
+        assert results[1].crashed
+        # The partial delta still arrived (schema-valid, merged cleanly).
+        assert results[1].metrics_delta is not None
+        assert results[1].metrics_delta["schema"].startswith(
+            "repro.obs.metrics/")
+        snapshot = registry.snapshot()
+        crashed = snapshot["counters"]["repro_eval_tasks_crashed_total"]
+        assert sum(crashed["samples"].values()) == 1
+        failed = snapshot["counters"]["repro_eval_tasks_failed_total"]
+        assert sum(failed["samples"].values()) == 1
+
+    def test_serial_crash_path_matches(self):
+        tasks = [SweepTask(kernel="BOOM", builder=_boom, block_size=32,
+                           metrics=True)]
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            results = ParallelRunner(workers=1, retries=0).run(tasks)
+        assert results[0].crashed
+        assert results[0].metrics_delta is not None
+        crashed = registry.snapshot()["counters"][
+            "repro_eval_tasks_crashed_total"]
+        assert sum(crashed["samples"].values()) == 1
+
+    def test_run_task_attaches_delta_to_exception(self):
+        task = SweepTask(kernel="BOOM", builder=_boom, block_size=32,
+                         metrics=True)
+        with pytest.raises(RuntimeError) as excinfo:
+            run_task(task)
+        delta = excinfo.value._metrics_delta
+        assert delta["schema"].startswith("repro.obs.metrics/")
+
+
+class TestProgressCallback:
+    def test_callback_sees_every_terminal_result(self):
+        seen = []
+
+        def progress(done, total, result):
+            seen.append((done, total, result.kernel))
+
+        ParallelRunner(workers=1).run(list(TASKS), progress=progress)
+        assert [entry[0] for entry in seen] == [1, 2, 3]
+        assert all(entry[1] == 3 for entry in seen)
+
+    def test_parallel_callback_counts_monotonically(self):
+        seen = []
+        ParallelRunner(workers=2).run(
+            list(TASKS), progress=lambda d, t, r: seen.append((d, t)))
+        assert [entry[0] for entry in seen] == [1, 2, 3]
+
+
+class TestDeltaBucketMismatch:
+    def test_mismatched_occupancy_buckets_reject_like_metrics_merge(self):
+        """A delta collected at a different warp width cannot silently
+        fold into a counted registry — the same rule Metrics.merge
+        applies to warp_size."""
+        narrow = MetricsRegistry()
+        narrow.histogram("repro_runtime_active_lanes",
+                         buckets=(1.0, 2.0, 3.0, 4.0)).observe(2)
+        wide = MetricsRegistry()
+        wide.histogram("repro_runtime_active_lanes",
+                       buckets=(4.0, 8.0, 12.0, 16.0, 20.0, 24.0, 28.0,
+                                32.0)).observe(16)
+        with pytest.raises(ValueError, match="cannot merge histogram"):
+            narrow.merge(wide.snapshot())
+
+    def test_fresh_registry_adopts_delta_buckets(self):
+        registry = MetricsRegistry()
+        wide = MetricsRegistry()
+        wide.histogram("repro_runtime_active_lanes",
+                       buckets=(8.0, 16.0)).observe(10)
+        registry.merge(wide.snapshot())
+        family = registry.histogram("repro_runtime_active_lanes",
+                                    buckets=(8.0, 16.0))
+        assert family.total_count() == 1

@@ -1,4 +1,4 @@
-"""The disabled-tracer overhead budget: < 2% of launch time.
+"""The disabled-observability overhead budget: < 2% of launch time.
 
 Naively diffing two wall-clock runs is flaky on shared CI machines, so
 the guard is computed instead of raced: count how many instrumentation
@@ -7,6 +7,13 @@ cost of one disabled-path check (``x is not None``) with ``timeit``, and
 require sites x per-check cost to stay under 2% of the untraced launch's
 own wall time.  The margin is ~three orders of magnitude in practice, so
 the test only fails if someone puts real work on the disabled path.
+
+The same budget covers the aggregate-metrics registry: a disabled
+registry adds one more ``is not None`` probe per block entry (the
+``obs`` hook next to ``trace``), so the combined disabled cost is two
+probes per site — asserted against the same 2% line.  The enabled path
+is held to a parity contract instead: the occupancy histogram must
+count exactly the block-entry events the tracer sees, per executor.
 """
 
 import time
@@ -16,7 +23,7 @@ import pytest
 
 import repro
 from repro.kernels import build_sb1
-from repro.obs import Tracer, use
+from repro.obs import MetricsRegistry, Tracer, use, use_registry
 from repro.obs.report import divergence_summary
 from repro.simt import MachineConfig, run_kernel
 
@@ -109,6 +116,97 @@ class TestDisabledOverheadBudget:
             f"[{executor}] {sites} sites x {per_check * 1e9:.1f}ns = "
             f"{overhead * 1e6:.1f}us exceeds 2% of "
             f"{launch_seconds * 1e3:.2f}ms launch")
+
+
+class TestDisabledRegistryBudget:
+    """With both the tracer and the registry off, every instrumentation
+    site costs two ``is not None`` probes (``trace`` + ``obs``); the pair
+    must still clear the same 2% bar."""
+
+    PROBES_PER_SITE = 2
+
+    @pytest.mark.parametrize("executor", ["fast", "reference"])
+    def test_two_disabled_probes_per_site_stay_under_budget(self, executor):
+        sites = count_instrumented_sites(executor)
+        assert sites > 0
+
+        loops = 100_000
+        trace_probe = obs_probe = None
+        per_site = timeit.timeit(
+            "x = trace_probe is not None\ny = obs_probe is not None",
+            globals={"trace_probe": trace_probe, "obs_probe": obs_probe},
+            number=loops) / loops
+
+        samples = []
+        for _ in range(3):
+            start = time.perf_counter()
+            launch(executor)
+            samples.append(time.perf_counter() - start)
+        launch_seconds = sorted(samples)[1]  # median of 3
+
+        overhead = sites * per_site
+        assert overhead < 0.02 * launch_seconds, (
+            f"[{executor}] {sites} sites x {self.PROBES_PER_SITE} probes "
+            f"({per_site * 1e9:.1f}ns/site) = {overhead * 1e6:.1f}us "
+            f"exceeds 2% of {launch_seconds * 1e3:.2f}ms launch")
+
+
+class TestRegistryParityWithTrace:
+    """Enabled-path correctness: the registry's runtime metrics must
+    agree, event for event, with the trace stream both executors are
+    already held to."""
+
+    @pytest.mark.parametrize("executor", ["fast", "reference"])
+    def test_occupancy_count_equals_traced_block_entries(self, executor):
+        tracer = Tracer()
+        registry = MetricsRegistry()
+        with use(tracer), use_registry(registry):
+            launch(executor)
+        exec_events = [e for e in tracer.events
+                       if e.get("cat") == "sim" and e["name"] == "exec"]
+        diverge_events = [e for e in tracer.events
+                          if e.get("cat") == "sim"
+                          and e["name"] == "diverge"]
+        snapshot = registry.snapshot()
+        occupancy = snapshot["histograms"]["repro_runtime_active_lanes"]
+        (sample,) = occupancy["samples"].values()
+        assert sample["count"] == len(exec_events)
+        # The occupancy sum is the total of per-entry active-lane counts.
+        assert sample["sum"] == sum(e["args"]["active"]
+                                    for e in exec_events)
+        divergent = snapshot["counters"][
+            "repro_runtime_divergent_branches_total"]
+        assert sum(divergent["samples"].values()) == len(diverge_events)
+
+    @pytest.mark.parametrize("executor", ["fast", "reference"])
+    def test_launch_counter_and_labels(self, executor):
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            launch(executor)
+        launches = registry.snapshot()["counters"][
+            "repro_runtime_launches_total"]
+        (key,) = launches["samples"]
+        assert f"executor={executor or 'reference'}" in key
+        assert "policy=ipdom" in key
+        assert launches["samples"][key] == 1
+
+    def test_both_executors_produce_identical_runtime_aggregates(self):
+        """Executor parity, the aggregate edition: modulo the executor
+        label, fast and reference runs must fold to identical runtime
+        metrics."""
+        def snap(executor):
+            registry = MetricsRegistry()
+            with use_registry(registry):
+                launch(executor)
+            snapshot = registry.snapshot()
+            for kind in ("counters", "gauges", "histograms"):
+                for data in snapshot[kind].values():
+                    data["samples"] = {
+                        key.replace(f"executor={executor},", ""): value
+                        for key, value in data["samples"].items()}
+            return snapshot
+
+        assert snap("fast") == snap("reference")
 
 
 class TestGoldenHeatmapFastPath:

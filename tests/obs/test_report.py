@@ -5,6 +5,8 @@ under ``-O3`` and ``-O3 + CFM``, launches both under one tracer, and
 asserts the melded arm executes *strictly fewer* divergent branches.
 """
 
+import json
+
 import repro
 from repro.kernels import build_sb1
 from repro.obs import Tracer, use
@@ -13,6 +15,7 @@ from repro.obs.report import (
     load_trace_events,
     render_heatmap,
     render_report,
+    report_json,
 )
 
 
@@ -79,6 +82,63 @@ class TestHeatmapRendering:
         text = render_report([{"name": "compile:k", "ph": "X", "ts": 0,
                                "dur": 1, "pid": 1, "tid": 0}])
         assert "no runtime" in text
+
+
+class TestReportJson:
+    """``report --json`` carries the same numbers as the text heatmaps —
+    asserted against the SB1 goldens the text path is held to."""
+
+    def test_sb1_golden_counts_in_json(self):
+        tracer, _ = traced_sb1_arms()
+        document = report_json(tracer.events)
+        assert document["schema"] == "repro.obs.report/v1"
+        by_name = {launch["name"]: launch
+                   for launch in document["launches"]}
+        o3 = by_name["o3:SB1"]
+        assert o3["divergent_branch_executions"] == 8
+        assert o3["branch_executions"] == 24
+        entry = next(b for b in o3["blocks"] if b["block"] == "entry")
+        assert entry["divergent_executions"] == 2
+        assert entry["mean_active_lanes"] == 8.0
+        cfm = by_name["cfm:SB1"]
+        assert cfm["divergent_branch_executions"] == 0
+
+    def test_json_matches_text_summaries(self):
+        tracer, arms = traced_sb1_arms()
+        document = report_json(tracer.events)
+        assert len(document["launches"]) == len(arms)
+        for launch in document["launches"]:
+            summary = arms[launch["name"]]
+            assert (launch["branch_executions"]
+                    == summary.branch_executions)
+            assert (launch["divergent_branch_executions"]
+                    == summary.divergent_branch_executions)
+            assert len(launch["blocks"]) == len(summary.blocks)
+
+    def test_json_blocks_sorted_like_heatmap_rows(self):
+        tracer, arms = traced_sb1_arms()
+        document = report_json(tracer.events)
+        o3 = next(launch for launch in document["launches"]
+                  if launch["name"] == "o3:SB1")
+        text_rows = [line.split()[0]
+                     for line in render_heatmap(arms["o3:SB1"]).splitlines()[2:]]
+        assert [b["block"] for b in o3["blocks"]][:len(text_rows)] == text_rows
+
+    def test_json_is_serializable(self):
+        tracer, _ = traced_sb1_arms()
+        document = report_json(tracer.events)
+        assert json.loads(json.dumps(document)) == document
+
+    def test_cli_report_json_flag(self, tmp_path, capsys):
+        from repro.obs.__main__ import main
+        tracer, _ = traced_sb1_arms()
+        path = tmp_path / "trace.json"
+        tracer.write(str(path))
+        assert main(["report", str(path), "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["schema"] == "repro.obs.report/v1"
+        assert {launch["name"] for launch in document["launches"]} == \
+            {"o3:SB1", "cfm:SB1"}
 
 
 class TestLoadTraceEvents:
