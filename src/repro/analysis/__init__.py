@@ -1,4 +1,6 @@
-"""CFG analyses: dominance, regions, loops, divergence, latency."""
+"""CFG analyses: dominance, regions, loops, divergence, latency,
+dataflow (worklist fixpoint engine), value ranges, and the symbolic
+meld translation validator."""
 
 from .cfg import (
     postorder,
@@ -25,6 +27,26 @@ from .divergence import (
     invalidate_divergence,
 )
 from .latency import DEFAULT_LATENCY_MODEL, LatencyModel
+from .dataflow import (
+    BACKWARD,
+    DataflowAnalysis,
+    DataflowResult,
+    FORWARD,
+    SparseSolver,
+    live_variables,
+    run_dataflow,
+)
+from .ranges import Interval, ValueRanges, compute_ranges
+from .validate import (
+    EQUIVALENT,
+    INEQUIVALENT,
+    MeldValidation,
+    MeldValidationError,
+    RegionCapture,
+    UNSUPPORTED,
+    VERDICTS,
+    validate_melds_hook,
+)
 
 __all__ = [
     "postorder", "reachable_blocks", "reachable_from", "reverse_postorder",
@@ -36,4 +58,10 @@ __all__ = [
     "DivergenceInfo", "compute_divergence",
     "cached_divergence", "invalidate_divergence",
     "DEFAULT_LATENCY_MODEL", "LatencyModel",
+    "FORWARD", "BACKWARD", "DataflowAnalysis", "DataflowResult",
+    "SparseSolver", "run_dataflow", "live_variables",
+    "Interval", "ValueRanges", "compute_ranges",
+    "EQUIVALENT", "INEQUIVALENT", "UNSUPPORTED", "VERDICTS",
+    "MeldValidation", "MeldValidationError", "RegionCapture",
+    "validate_melds_hook",
 ]

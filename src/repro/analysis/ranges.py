@@ -1,0 +1,432 @@
+"""Interval value-range analysis for integer SSA values.
+
+A sparse dataflow client of :class:`repro.analysis.dataflow.SparseSolver`:
+every integer-typed value gets a conservative interval ``[lo, hi]``
+(``None`` bounds mean unbounded within the type), refined along def-use
+edges to a fixpoint with widening so loop-carried counters terminate.
+
+GPU thread-geometry intrinsics seed the lattice — ``tid.x``/``ctaid.x``
+are ``[0, +max]`` and ``ntid.x``/``nctaid.x`` are ``[1, +max]`` — which
+is what lets the lint layer prove facts like "``tid & (N-1)`` indexes a
+shared array of N elements in bounds" or "this branch condition is
+statically decided" without knowing the launch dimensions.
+
+Soundness contract: intervals are over the *stored* two's-complement
+value.  Any transfer whose mathematical result could leave the type's
+signed range collapses to the full type range instead of pretending
+wrap-around cannot happen.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    BinaryOp,
+    Call,
+    Cast,
+    ICmp,
+    ICmpPredicate,
+    Instruction,
+    IntrinsicName,
+    Opcode,
+    Phi,
+    Select,
+)
+from repro.ir.types import IntType
+from repro.ir.values import Argument, Constant, Undef, Value
+
+from .dataflow import SparseSolver
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed integer interval; ``None`` bounds are unbounded.
+
+    ``EMPTY`` (the lattice bottom, "no value reaches here yet") is the
+    dedicated empty interval — check :attr:`empty` before reading the
+    bounds of an arbitrary interval.
+    """
+
+    lo: Optional[int] = None
+    hi: Optional[int] = None
+    empty: bool = False
+
+    # -- constructors -------------------------------------------------------
+
+    @staticmethod
+    def exact(value: int) -> "Interval":
+        return Interval(value, value)
+
+    @staticmethod
+    def of_type(type_) -> "Interval":
+        """The full stored range of an integer type (TOP for that type)."""
+        if isinstance(type_, IntType):
+            return Interval(type_.min_value, type_.max_value)
+        return TOP
+
+    # -- predicates ---------------------------------------------------------
+
+    @property
+    def is_constant(self) -> bool:
+        return not self.empty and self.lo is not None and self.lo == self.hi
+
+    @property
+    def constant_value(self) -> Optional[int]:
+        return self.lo if self.is_constant else None
+
+    def contains(self, value: int) -> bool:
+        if self.empty:
+            return False
+        return ((self.lo is None or self.lo <= value)
+                and (self.hi is None or value <= self.hi))
+
+    def intersects(self, lo: int, hi: int) -> bool:
+        """Does this interval overlap the closed range ``[lo, hi]``?"""
+        if self.empty or hi < lo:
+            return False
+        return ((self.hi is None or self.hi >= lo)
+                and (self.lo is None or self.lo <= hi))
+
+    def nonnegative(self) -> bool:
+        return not self.empty and self.lo is not None and self.lo >= 0
+
+    # -- lattice ------------------------------------------------------------
+
+    def join(self, other: "Interval") -> "Interval":
+        if self.empty:
+            return other
+        if other.empty:
+            return self
+        lo = None if self.lo is None or other.lo is None \
+            else min(self.lo, other.lo)
+        hi = None if self.hi is None or other.hi is None \
+            else max(self.hi, other.hi)
+        return Interval(lo, hi)
+
+    def widen(self, previous: "Interval") -> "Interval":
+        """Blow any still-moving bound to unbounded (applied by the
+        solver only after repeated recomputation)."""
+        if previous.empty or self.empty:
+            return self
+        lo = self.lo
+        if lo is not None and (previous.lo is None or lo < previous.lo):
+            lo = None
+        hi = self.hi
+        if hi is not None and (previous.hi is None or hi > previous.hi):
+            hi = None
+        return Interval(lo, hi)
+
+    def clamp(self, type_) -> "Interval":
+        """Collapse to the full type range unless provably wrap-free."""
+        if self.empty or not isinstance(type_, IntType):
+            return self
+        full = Interval.of_type(type_)
+        if self.lo is None or self.hi is None:
+            return full
+        if self.lo < full.lo or self.hi > full.hi:
+            return full
+        return self
+
+    def __repr__(self) -> str:
+        if self.empty:
+            return "[empty]"
+        lo = "-inf" if self.lo is None else str(self.lo)
+        hi = "+inf" if self.hi is None else str(self.hi)
+        return f"[{lo}, {hi}]"
+
+
+TOP = Interval(None, None)
+EMPTY = Interval(0, 0, empty=True)
+
+#: interval seeds for the thread-geometry intrinsics (ISSUE: the launch
+#: dimensions are unknown at compile time, but never negative/zero)
+_INTRINSIC_SEEDS = {
+    IntrinsicName.TID_X: 0,
+    IntrinsicName.CTAID_X: 0,
+    IntrinsicName.NTID_X: 1,
+    IntrinsicName.NCTAID_X: 1,
+}
+
+
+def _leaf_interval(value: Value) -> Optional[Interval]:
+    """Interval of a non-instruction value, or None if not a leaf."""
+    if isinstance(value, Constant):
+        if isinstance(value.type, IntType):
+            return Interval.exact(value.value)
+        return TOP
+    if isinstance(value, (Argument, Undef)):
+        return Interval.of_type(value.type)
+    return None
+
+
+def _both(a: Interval, b: Interval) -> bool:
+    return not a.empty and not b.empty
+
+
+def _add(a: Interval, b: Interval) -> Interval:
+    lo = None if a.lo is None or b.lo is None else a.lo + b.lo
+    hi = None if a.hi is None or b.hi is None else a.hi + b.hi
+    return Interval(lo, hi)
+
+
+def _sub(a: Interval, b: Interval) -> Interval:
+    lo = None if a.lo is None or b.hi is None else a.lo - b.hi
+    hi = None if a.hi is None or b.lo is None else a.hi - b.lo
+    return Interval(lo, hi)
+
+
+def _mul(a: Interval, b: Interval) -> Interval:
+    bounds = (a.lo, a.hi, b.lo, b.hi)
+    if None not in bounds:
+        products = [a.lo * b.lo, a.lo * b.hi, a.hi * b.lo, a.hi * b.hi]
+        return Interval(min(products), max(products))
+    if a.nonnegative() and b.nonnegative():
+        return Interval(a.lo * b.lo, None)
+    return TOP
+
+
+def _and(a: Interval, b: Interval) -> Interval:
+    # x & c with c >= 0 is in [0, c] whatever x is (two's complement).
+    caps = [iv.constant_value for iv in (a, b)
+            if iv.is_constant and iv.constant_value >= 0]
+    if caps:
+        return Interval(0, min(caps))
+    if a.nonnegative() and b.nonnegative():
+        his = [iv.hi for iv in (a, b) if iv.hi is not None]
+        return Interval(0, min(his) if his else None)
+    return TOP
+
+
+def _or_xor(a: Interval, b: Interval) -> Interval:
+    if a.nonnegative() and b.nonnegative():
+        if a.hi is not None and b.hi is not None:
+            bits = max(a.hi, b.hi).bit_length()
+            return Interval(0, (1 << bits) - 1)
+        return Interval(0, None)
+    return TOP
+
+
+def _urem(a: Interval, b: Interval) -> Interval:
+    if b.lo is not None and b.lo > 0 and b.hi is not None:
+        hi = b.hi - 1
+        if a.nonnegative() and a.hi is not None:
+            hi = min(hi, a.hi)
+        return Interval(0, hi)
+    if a.nonnegative():
+        return Interval(0, a.hi)
+    return TOP
+
+
+def _srem(a: Interval, b: Interval) -> Interval:
+    c = b.constant_value
+    if c is not None and c != 0:
+        bound = abs(c) - 1
+        if a.nonnegative():
+            return Interval(0, bound)
+        return Interval(-bound, bound)
+    return TOP
+
+
+def _div(a: Interval, b: Interval) -> Interval:
+    # Non-negative dividend, positive constant divisor: truncating and
+    # floor division agree, so Python's // is exact for both udiv/sdiv.
+    c = b.constant_value
+    if c is not None and c > 0 and a.nonnegative():
+        return Interval(a.lo // c, None if a.hi is None else a.hi // c)
+    return TOP
+
+
+def _shift(opcode: str, a: Interval, b: Interval) -> Interval:
+    c = b.constant_value
+    if c is None or c < 0 or not a.nonnegative():
+        return TOP
+    if opcode == Opcode.SHL:
+        return Interval(a.lo << c, None if a.hi is None else a.hi << c)
+    # lshr and ashr agree on non-negative inputs.
+    return Interval(a.lo >> c, None if a.hi is None else a.hi >> c)
+
+
+_BINARY = {
+    Opcode.ADD: _add,
+    Opcode.SUB: _sub,
+    Opcode.MUL: _mul,
+    Opcode.AND: _and,
+    Opcode.OR: _or_xor,
+    Opcode.XOR: _or_xor,
+    Opcode.UREM: _urem,
+    Opcode.SREM: _srem,
+    Opcode.UDIV: _div,
+    Opcode.SDIV: _div,
+}
+
+
+def _icmp(predicate: str, a: Interval, b: Interval) -> Interval:
+    """Decide a comparison from the operand intervals when possible.
+
+    Unsigned predicates are only decided for provably non-negative
+    operands (where signed and unsigned orders agree)."""
+    if a.empty or b.empty:
+        return Interval(0, 1)
+    signed_ok = predicate in (ICmpPredicate.EQ, ICmpPredicate.NE,
+                              ICmpPredicate.SLT, ICmpPredicate.SLE,
+                              ICmpPredicate.SGT, ICmpPredicate.SGE)
+    unsigned = predicate in (ICmpPredicate.ULT, ICmpPredicate.ULE,
+                             ICmpPredicate.UGT, ICmpPredicate.UGE)
+    if unsigned and not (a.nonnegative() and b.nonnegative()):
+        return Interval(0, 1)
+    if not (signed_ok or unsigned):
+        return Interval(0, 1)
+    canonical = {
+        ICmpPredicate.ULT: ICmpPredicate.SLT,
+        ICmpPredicate.ULE: ICmpPredicate.SLE,
+        ICmpPredicate.UGT: ICmpPredicate.SGT,
+        ICmpPredicate.UGE: ICmpPredicate.SGE,
+    }.get(predicate, predicate)
+
+    def lt(x: Interval, y: Interval, or_equal: bool) -> Optional[bool]:
+        # True iff x <(=) y for every pair; False iff never; None unknown.
+        if x.hi is not None and y.lo is not None and (
+                x.hi < y.lo or (or_equal and x.hi == y.lo)):
+            return True
+        if x.lo is not None and y.hi is not None and (
+                x.lo > y.hi or (not or_equal and x.lo == y.hi)):
+            return False
+        return None
+
+    verdict: Optional[bool] = None
+    if canonical == ICmpPredicate.EQ:
+        if a.is_constant and b.is_constant:
+            verdict = a.constant_value == b.constant_value
+        elif (a.hi is not None and b.lo is not None and a.hi < b.lo) or \
+                (b.hi is not None and a.lo is not None and b.hi < a.lo):
+            verdict = False
+    elif canonical == ICmpPredicate.NE:
+        inner = _icmp(ICmpPredicate.EQ, a, b)
+        if inner.is_constant:
+            verdict = not inner.constant_value
+    elif canonical == ICmpPredicate.SLT:
+        verdict = lt(a, b, or_equal=False)
+    elif canonical == ICmpPredicate.SLE:
+        verdict = lt(a, b, or_equal=True)
+    elif canonical == ICmpPredicate.SGT:
+        verdict = lt(b, a, or_equal=False)
+    elif canonical == ICmpPredicate.SGE:
+        verdict = lt(b, a, or_equal=True)
+    if verdict is None:
+        return Interval(0, 1)
+    return Interval.exact(1 if verdict else 0)
+
+
+def _transfer(instr: Instruction,
+              fact_of: Callable[[Value], Interval]) -> Interval:
+    def read(value: Value) -> Interval:
+        leaf = _leaf_interval(value)
+        return leaf if leaf is not None else fact_of(value)
+
+    type_ = instr.type
+    if isinstance(instr, BinaryOp) and instr.opcode in Opcode.INT_BINARY:
+        a, b = read(instr.lhs), read(instr.rhs)
+        if not _both(a, b):
+            return EMPTY
+        if instr.opcode in (Opcode.SHL, Opcode.LSHR, Opcode.ASHR):
+            return _shift(instr.opcode, a, b).clamp(type_)
+        fn = _BINARY.get(instr.opcode)
+        return fn(a, b).clamp(type_) if fn else Interval.of_type(type_)
+    if isinstance(instr, ICmp):
+        a, b = read(instr.lhs), read(instr.rhs)
+        if not _both(a, b):
+            return EMPTY
+        return _icmp(instr.predicate, a, b)
+    if isinstance(instr, Select):
+        cond = read(instr.condition)
+        t, f = read(instr.true_value), read(instr.false_value)
+        if cond.is_constant:
+            return t if cond.constant_value else f
+        return t.join(f)
+    if isinstance(instr, Phi):
+        result = EMPTY
+        for value, _ in instr.incoming:
+            result = result.join(read(value))
+        return result
+    if isinstance(instr, Cast):
+        inner = read(instr.value)
+        if inner.empty:
+            return EMPTY
+        if instr.opcode in (Opcode.ZEXT, Opcode.SEXT):
+            if instr.opcode == Opcode.ZEXT and not inner.nonnegative():
+                # zext reinterprets negative values as large positives.
+                return Interval.of_type(type_)
+            return inner.clamp(type_)
+        if instr.opcode == Opcode.TRUNC:
+            full = Interval.of_type(type_)
+            if inner.lo is not None and inner.hi is not None \
+                    and inner.lo >= full.lo and inner.hi <= full.hi:
+                return inner
+            return full
+        return Interval.of_type(type_)
+    if isinstance(instr, Call):
+        seed = _INTRINSIC_SEEDS.get(instr.callee)
+        if seed is not None:
+            return Interval(seed, Interval.of_type(type_).hi)
+        if instr.callee in (IntrinsicName.MIN, IntrinsicName.MAX) \
+                and len(instr.args) == 2:
+            a, b = read(instr.args[0]), read(instr.args[1])
+            if not _both(a, b):
+                return EMPTY
+            if instr.callee == IntrinsicName.MIN:
+                los = (a.lo, b.lo)
+                lo = None if None in los else min(los)
+                his = [h for h in (a.hi, b.hi) if h is not None]
+                return Interval(lo, min(his) if his else None)
+            los = [l for l in (a.lo, b.lo) if l is not None]
+            his = (a.hi, b.hi)
+            return Interval(max(los) if los else None,
+                            None if None in his else max(his))
+        return Interval.of_type(type_)
+    # Loads, GEPs, float ops: no interval facts beyond the type range.
+    return Interval.of_type(type_)
+
+
+class ValueRanges:
+    """Query surface over the solved interval facts of one function."""
+
+    def __init__(self, solver: SparseSolver) -> None:
+        self._solver = solver
+
+    def range_of(self, value: Value) -> Interval:
+        """The interval of any value (instruction, constant, argument).
+
+        :data:`EMPTY` means no executable fact reached the value — it
+        sits in dataflow-dead SSA (e.g. a φ all of whose inputs are
+        themselves empty); callers should treat it as "no claim".
+        """
+        leaf = _leaf_interval(value)
+        if leaf is not None:
+            return leaf
+        fact = self._solver.fact_of(value)
+        return fact if isinstance(fact, Interval) else EMPTY
+
+    def decided_condition(self, value: Value) -> Optional[bool]:
+        """True/False when an ``i1`` value is statically decided."""
+        if not value.type.is_bool:
+            return None
+        interval = self.range_of(value)
+        if interval.is_constant:
+            return bool(interval.constant_value)
+        return None
+
+
+def compute_ranges(function: Function) -> ValueRanges:
+    """Solve the interval lattice over ``function`` (to a fixpoint,
+    with widening on loop-carried values)."""
+    solver = SparseSolver(
+        bottom=EMPTY,
+        join=lambda a, b: a.join(b),
+        transfer=_transfer,
+        widen=lambda old, new: new.widen(old),
+    )
+    solver.solve(function)
+    return ValueRanges(solver)

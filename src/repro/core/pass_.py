@@ -20,6 +20,7 @@ from typing import List, Optional
 from repro.analysis.divergence import cached_divergence, invalidate_divergence
 from repro.analysis.dominators import compute_postdominator_tree
 from repro.analysis.latency import DEFAULT_LATENCY_MODEL, LatencyModel
+from repro.analysis.validate import MeldValidation, RegionCapture
 from repro.ir.function import Function
 from repro.obs import (
     BlockPairScore,
@@ -27,6 +28,7 @@ from repro.obs import (
     current_tracer,
     emit_decisions,
     record_cfm_decisions,
+    record_validate_verdict,
 )
 from repro.transforms.dce import eliminate_dead_code
 from repro.transforms.simplifycfg import (
@@ -67,6 +69,10 @@ class CFMConfig:
     optimal_subgraph_alignment: bool = False
     #: allow case-② melds (simple region with single basic block, Def. 6)
     allow_partial_melds: bool = True
+    #: symbolically validate every accepted meld (translation validation;
+    #: see :mod:`repro.analysis.validate`); off by default so evaluation
+    #: sweeps pay nothing — one boolean check per meld
+    validate: bool = False
     latency: LatencyModel = field(default_factory=lambda: DEFAULT_LATENCY_MODEL)
 
 
@@ -93,6 +99,10 @@ class CFMStats:
     #: the structured decision log: every candidate region with its
     #: FP_B/FP_S/FP_I scores, alignment, and accept/reject reason
     decisions: List[MeldingDecision] = field(default_factory=list)
+    #: per-meld translation-validation verdicts (only populated when
+    #: ``CFMConfig.validate`` is on; consumed by the
+    #: ``PassPipeline(validate_melds=...)`` hook)
+    validations: List[MeldValidation] = field(default_factory=list)
     iterations: int = 0
     regions_considered: int = 0
     pairs_rejected_unprofitable: int = 0
@@ -213,6 +223,17 @@ def _meld_one(function: Function, config: CFMConfig, stats: CFMStats) -> bool:
             stats.decisions.append(decision)
             continue
 
+        capture = None
+        capture_seconds = 0.0
+        if config.validate:
+            # Pre-meld symbolic summaries must be taken now: the melder
+            # consumes the region's blocks.  (The post-meld runs happen
+            # after unpredication, before the §IV-F cleanups below.)
+            v_start = time.perf_counter()
+            capture = RegionCapture(region.entry, region.exit,
+                                    region.condition)
+            capture_seconds = time.perf_counter() - v_start
+
         result = Melder(function, region, pair, config.latency).meld()
         remove_unreachable_blocks(function)
         repair_ssa(function)
@@ -220,6 +241,20 @@ def _meld_one(function: Function, config: CFMConfig, stats: CFMStats) -> bool:
         if config.unpredication:
             unpredicated = unpredicate(function, result,
                                        config.split_pure_runs)
+        if capture is not None:
+            v_start = time.perf_counter()
+            validation = capture.compare_against_current()
+            validation.seconds = (capture_seconds
+                                  + time.perf_counter() - v_start)
+            stats.validations.append(validation)
+            decision.validation = validation.verdict
+            record_validate_verdict(validation.verdict, validation.seconds)
+            tracer = current_tracer()
+            if tracer.enabled:
+                tracer.instant(f"validate:{validation.verdict}",
+                               cat="melding",
+                               args={"region": validation.region_entry,
+                                     "detail": validation.detail})
         _post_optimize(function)
         invalidate_divergence(function)
 

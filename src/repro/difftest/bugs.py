@@ -25,6 +25,18 @@ The bugs are semantic classics for this codebase:
     ``verify_after_each`` hook (a *verifier-class* failure attributed to
     the guilty pass, rather than an output mismatch).
 
+``meld-swap-operand-under-mask``
+    After the melder reconciles a divergent operand pair into
+    ``select C, vT, vF``, the bug overwrites the false arm with the true
+    arm (``select C, vT, vT``).  Whenever the launch geometry makes the
+    divergence condition true for every *executing* lane, the false arm
+    is dynamically dead: outputs stay bit-identical across all five
+    run-and-diff arms, the IR is well-formed, and no lint rule fires.
+    Only the symbolic translation validator — which proves the meld
+    under **both** mask cases, including the never-executed ``C=false``
+    one — reports the region ``INEQUIVALENT`` (a *validate-class*
+    failure, the static oracle's blind-spot test).
+
 ``drop-barrier``
     DCE treats one barrier call as dead and deletes it.  The IR stays
     well-formed (the verifier is blind), and with one warp per block
@@ -59,6 +71,25 @@ def _inject_swap_select() -> Iterator[None]:
         yield
     finally:
         _melder.Select = original
+
+
+@contextlib.contextmanager
+def _inject_meld_swap_operand_under_mask() -> Iterator[None]:
+    original = _melder.Melder._reconcile
+
+    def buggy(self, melded, value_t, value_f):
+        value = original(self, melded, value_t, value_f)
+        if isinstance(value, Select):
+            # select C, vT, vF  ->  select C, vT, vT: invisible wherever
+            # the mask's false case never executes at runtime.
+            value.set_operand(2, value.operand(1))
+        return value
+
+    _melder.Melder._reconcile = buggy
+    try:
+        yield
+    finally:
+        _melder.Melder._reconcile = original
 
 
 class _WithoutExternalPreds:
@@ -118,6 +149,7 @@ def _inject_drop_barrier() -> Iterator[None]:
 #: name -> context manager factory; ``with BUGS[name]():`` activates it
 BUGS: Dict[str, Callable[[], "contextlib.AbstractContextManager[None]"]] = {
     "swap-select": _inject_swap_select,
+    "meld-swap-operand-under-mask": _inject_meld_swap_operand_under_mask,
     "drop-undef-phi": _inject_drop_undef_phi,
     "drop-barrier": _inject_drop_barrier,
 }

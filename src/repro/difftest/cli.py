@@ -9,7 +9,10 @@ the corpus as JSON entries plus standalone repro scripts.
 Typical invocations::
 
     python -m repro.difftest --seeds 200            # fixed-count sweep
-    python -m repro.difftest --budget 60            # time-boxed (CI)
+    python -m repro.difftest --budget 60 --validate # time-boxed (CI), with
+                                                    # meld translation
+                                                    # validation as a sixth,
+                                                    # static oracle
     python -m repro.difftest --seeds 50 --inject-bug swap-select
 
 Exit status: 0 when every kernel agrees across every arm, 1 otherwise.
@@ -66,6 +69,12 @@ def _parse_args(argv: Optional[Sequence[str]]) -> argparse.Namespace:
                         help="record failures without minimizing them")
     parser.add_argument("--inject-bug", choices=sorted(BUGS), default=None,
                         help="sabotage a transform for mutation testing")
+    parser.add_argument("--validate", action="store_true",
+                        help="enable symbolic translation validation on the "
+                             "o3-cfm arm: every meld is proven under both "
+                             "divergence-mask cases and an INEQUIVALENT "
+                             "verdict fails the arm (kind 'validate') even "
+                             "when no input set witnesses it dynamically")
     parser.add_argument("--reconvergence", choices=RECONVERGENCE_POLICIES,
                         default="ipdom",
                         help="warp reconvergence policy the oracle arms run "
@@ -145,7 +154,7 @@ def _campaign_body(args: argparse.Namespace, arms: Sequence[str],
         spec = generate_spec(seed, block_dim=args.block_size,
                              grid_dim=args.grid)
         verdict = run_oracle(spec, arms=arms, input_seeds=input_seeds,
-                             machine=machine)
+                             machine=machine, validate=args.validate)
         tested += 1
         total_melds += sum(r.melds for r in verdict.arms.values())
         verified_passes += sum(r.verified_passes
@@ -182,6 +191,7 @@ def _campaign_body(args: argparse.Namespace, arms: Sequence[str],
     mismatches = sum(v.mismatches for v in failing)
     verifier_failures = sum(v.verifier_failures for v in failing)
     lint_failures = sum(v.lint_failures for v in failing)
+    validate_failures = sum(v.validate_failures for v in failing)
     crashes = sum(1 for v in failing
                   for f in v.failures if f.kind == "crash")
     print(f"difftest: {tested} kernels x {len(arms)} arms in {elapsed:.1f}s "
@@ -190,6 +200,8 @@ def _campaign_body(args: argparse.Namespace, arms: Sequence[str],
     print(f"  output mismatches:  {mismatches}")
     print(f"  verifier failures:  {verifier_failures}")
     print(f"  lint failures:      {lint_failures}")
+    if args.validate:
+        print(f"  validate failures:  {validate_failures}")
     print(f"  crashes:            {crashes}")
     if failing:
         print(f"  repros written to:  {args.corpus_dir}/")
@@ -209,13 +221,15 @@ def _record_failure(args: argparse.Namespace, spec: KernelSpec,
         def is_failing(candidate: KernelSpec) -> bool:
             return not run_oracle(candidate, arms=arms,
                                   input_seeds=input_seeds,
-                                  machine=machine).ok
+                                  machine=machine,
+                                  validate=args.validate).ok
 
         result = shrink(spec, is_failing)
         final_spec = result.spec
         final_verdict = run_oracle(final_spec, arms=arms,
                                    input_seeds=input_seeds,
-                                   machine=machine)
+                                   machine=machine,
+                                   validate=args.validate)
         if final_verdict.ok:  # paranoia: never record a passing "repro"
             final_spec, final_verdict = spec, verdict
         else:
@@ -227,13 +241,15 @@ def _record_failure(args: argparse.Namespace, spec: KernelSpec,
     # Recompile each failing arm under a fresh tracer so the corpus
     # entry carries its pass-span trace and melding decision log.
     failing_arms = sorted({f.arm for f in final_verdict.failures})
-    traces = [arm_trace(final_spec, arm) for arm in failing_arms]
+    traces = [arm_trace(final_spec, arm, validate=args.validate)
+              for arm in failing_arms]
 
     path = write_entry(args.corpus_dir, final_spec, final_verdict,
                        original_statements=original_statements,
                        input_seeds=input_seeds,
                        injected_bug=args.inject_bug,
-                       traces=traces)
+                       traces=traces,
+                       validate=args.validate)
     _progress(args.quiet, f"  wrote {path}")
 
 

@@ -55,11 +55,13 @@ SPEC_JSON = r"""
 
 ARMS = {arms!r}
 INPUT_SEEDS = {input_seeds!r}
+VALIDATE = {validate!r}
 
 
 def main() -> int:
     spec = KernelSpec.from_json(SPEC_JSON)
-    verdict = run_oracle(spec, arms=ARMS, input_seeds=INPUT_SEEDS)
+    verdict = run_oracle(spec, arms=ARMS, input_seeds=INPUT_SEEDS,
+                         validate=VALIDATE)
     if verdict.ok:
         print("no longer reproduces: all arms agree")
         return 0
@@ -86,6 +88,9 @@ class CorpusEntry:
     original_statements: int
     statements: int
     injected_bug: Optional[str] = None
+    #: whether the recording run had meld translation validation on —
+    #: :func:`replay` re-enables it so validate-class failures reproduce
+    validate: bool = False
     #: per failing arm: pass-span trace events + melding decision log
     #: (schema /2; empty for entries recorded under /1)
     traces: List[dict] = field(default_factory=list)
@@ -101,7 +106,8 @@ def write_entry(corpus_dir: Path, spec: KernelSpec, verdict: Verdict,
                 original_statements: Optional[int] = None,
                 input_seeds: Sequence[int] = (0, 1),
                 injected_bug: Optional[str] = None,
-                traces: Optional[Sequence[dict]] = None) -> Path:
+                traces: Optional[Sequence[dict]] = None,
+                validate: bool = False) -> Path:
     """Write the JSON entry + standalone repro script; return entry path.
 
     ``traces`` (one per failing arm, from
@@ -126,6 +132,7 @@ def write_entry(corpus_dir: Path, spec: KernelSpec, verdict: Verdict,
                                 else spec.statement_count()),
         "statements": spec.statement_count(),
         "injected_bug": injected_bug,
+        "validate": validate,
         "traces": list(traces or []),
     }
     entry_path = corpus_dir / f"{name}.json"
@@ -136,7 +143,7 @@ def write_entry(corpus_dir: Path, spec: KernelSpec, verdict: Verdict,
     script = _REPRO_TEMPLATE.format(
         headline=headline, script_name=script_name,
         spec_json=spec.to_json(), arms=tuple(arms),
-        input_seeds=tuple(input_seeds))
+        input_seeds=tuple(input_seeds), validate=validate)
     (corpus_dir / script_name).write_text(script)
     return entry_path
 
@@ -158,6 +165,7 @@ def load_entry(path: Path) -> CorpusEntry:
         original_statements=data["original_statements"],
         statements=data["statements"],
         injected_bug=data.get("injected_bug"),
+        validate=bool(data.get("validate", False)),
         traces=list(data.get("traces", [])),
         path=path,
     )
@@ -172,7 +180,8 @@ def replay(path: Path) -> Verdict:
     """
     entry = load_entry(path)
     arms = tuple(a for a in entry.arms if a in ALL_ARMS) or ALL_ARMS
-    return run_oracle(entry.spec, arms=arms, input_seeds=entry.input_seeds)
+    return run_oracle(entry.spec, arms=arms, input_seeds=entry.input_seeds,
+                      validate=entry.validate)
 
 
 def list_entries(corpus_dir: Path) -> List[CorpusEntry]:

@@ -29,6 +29,13 @@ verifier error, lint regression or simulator trap becomes a
 :class:`Failure` carrying the arm, the guilty pass (when known) and the
 first diverging buffer index.
 
+With ``validate=True`` the ``o3-cfm`` arm also runs the *static* oracle:
+symbolic translation validation of every meld
+(:mod:`repro.analysis.validate`), wired through the pipeline's
+``validate_melds`` hook.  An ``INEQUIVALENT`` meld fails the arm with
+kind ``"validate"`` whether or not any input set witnesses the
+difference — the one oracle class that does not need a run.
+
 One :class:`~repro.simt.GPU` per arm is reused across all input sets via
 ``GPU.reset()``, so a long fuzzing run touches the device-state
 lifecycle the same way a real host application would.
@@ -36,6 +43,7 @@ lifecycle the same way a real host application would.
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -53,6 +61,7 @@ from repro import (
     o3_pipeline,
     verify_function,
 )
+from repro.analysis import MeldValidationError, validate_melds_hook
 from repro.simt import resolve_machine
 from repro.obs import MeldingDecision, Tracer, use as use_tracer
 
@@ -69,7 +78,7 @@ class Failure:
     """One way one arm disagreed with the reference."""
 
     arm: str
-    #: "mismatch" | "verifier" | "lint" | "crash"
+    #: "mismatch" | "verifier" | "lint" | "validate" | "crash"
     kind: str
     detail: str
     #: pass that broke the IR (verifier failures only)
@@ -122,6 +131,10 @@ class Verdict:
     @property
     def lint_failures(self) -> int:
         return sum(1 for f in self.failures if f.kind == "lint")
+
+    @property
+    def validate_failures(self) -> int:
+        return sum(1 for f in self.failures if f.kind == "validate")
 
 
 class _PassVerifier:
@@ -182,7 +195,8 @@ class _LintDiffer:
 
 def _arm_pipeline(arm: str, hook: _PassVerifier,
                   cfm_config: Optional[CFMConfig],
-                  lint_hook: Optional[_LintDiffer] = None) -> List[PassPipeline]:
+                  lint_hook: Optional[_LintDiffer] = None,
+                  validate: bool = False) -> List[PassPipeline]:
     """The pass pipelines one arm runs, in order (empty for ``noopt``)."""
     if arm == "noopt":
         return []
@@ -191,15 +205,23 @@ def _arm_pipeline(arm: str, hook: _PassVerifier,
     o3.lint_after_each = lint_hook
     if arm == "o3":
         return [o3]
+    if arm == "o3-cfm" and validate:
+        cfm_config = dataclasses.replace(cfm_config or CFMConfig(),
+                                         validate=True)
     reducer = {
         "o3-cfm": lambda: CFMPass(cfm_config),
         "o3-tail": TailMergingPass,
         "o3-bf": BranchFusionPass,
     }[arm]()
     # One pipeline hosts the reducer and the late cleanups through the
-    # same Pass surface — the point of the unified pass API.
+    # same Pass surface — the point of the unified pass API.  Under
+    # ``validate`` the stage also carries the translation-validation
+    # hook, so an INEQUIVALENT meld aborts the arm at the guilty pass.
     stage2 = PassPipeline([reducer], verify_after_each=hook,
-                          lint_after_each=lint_hook)
+                          lint_after_each=lint_hook,
+                          validate_melds=(validate_melds_hook
+                                          if arm == "o3-cfm" and validate
+                                          else None))
     for late_pass in late_pipeline().passes:
         stage2.add(late_pass)
     return [o3, stage2]
@@ -207,7 +229,7 @@ def _arm_pipeline(arm: str, hook: _PassVerifier,
 
 def _compile_arm(arm: str, spec: KernelSpec,
                  cfm_config: Optional[CFMConfig],
-                 lint: bool = True) -> ArmReport:
+                 lint: bool = True, validate: bool = False) -> ArmReport:
     report = ArmReport(arm=arm)
     hook = _PassVerifier()
     builder = build_kernel(spec)
@@ -215,7 +237,8 @@ def _compile_arm(arm: str, spec: KernelSpec,
     try:
         lint_hook = (_LintDiffer(function)
                      if lint and arm != "noopt" else None)
-        pipelines = _arm_pipeline(arm, hook, cfm_config, lint_hook)
+        pipelines = _arm_pipeline(arm, hook, cfm_config, lint_hook,
+                                  validate=validate)
         for index, pipeline in enumerate(pipelines):
             if index == 0:
                 pipeline.run_to_fixpoint(function)  # the -O3 stage
@@ -228,6 +251,10 @@ def _compile_arm(arm: str, spec: KernelSpec,
         return report
     except PassLintError as exc:
         report.failure = Failure(arm=arm, kind="lint", detail=str(exc),
+                                 pass_name=exc.pass_name)
+        return report
+    except MeldValidationError as exc:
+        report.failure = Failure(arm=arm, kind="validate", detail=str(exc),
                                  pass_name=exc.pass_name)
         return report
     except Exception as exc:
@@ -256,7 +283,8 @@ def _compile_arm(arm: str, spec: KernelSpec,
 
 
 def arm_trace(spec: KernelSpec, arm: str,
-              cfm_config: Optional[CFMConfig] = None) -> Dict[str, object]:
+              cfm_config: Optional[CFMConfig] = None,
+              validate: bool = False) -> Dict[str, object]:
     """Re-compile one arm under a fresh tracer and return its artifacts.
 
     Used when recording a failing seed: the hot fuzz loop runs untraced,
@@ -267,7 +295,7 @@ def arm_trace(spec: KernelSpec, arm: str,
     """
     tracer = Tracer()
     with use_tracer(tracer):
-        report = _compile_arm(arm, spec, cfm_config)
+        report = _compile_arm(arm, spec, cfm_config, validate=validate)
     return {
         "arm": arm,
         "events": list(tracer.events),
@@ -315,7 +343,8 @@ def run_oracle(spec: KernelSpec,
                input_seeds: Sequence[int] = (0, 1),
                cfm_config: Optional[CFMConfig] = None,
                machine: Optional[MachineConfig] = None,
-               executor: Optional[str] = None) -> Verdict:
+               executor: Optional[str] = None,
+               validate: bool = False) -> Verdict:
     """Compile and run ``spec`` under every arm; diff against ``noopt``.
 
     ``machine`` (a :class:`~repro.simt.MachineConfig`) describes the
@@ -324,6 +353,14 @@ def run_oracle(spec: KernelSpec,
     compiled arms under both executors; the policy-differential contract
     is that device memory is bit-identical across reconvergence policies
     too.  ``executor=`` is the deprecated pre-PR-7 spelling.
+
+    ``validate=True`` adds the *static* sixth oracle: the ``o3-cfm`` arm
+    compiles with symbolic translation validation enabled
+    (``CFMConfig.validate``) and the
+    :func:`~repro.analysis.validate.validate_melds_hook` pipeline hook,
+    so any meld proven ``INEQUIVALENT`` fails the arm with kind
+    ``"validate"`` — even when every run-and-diff input happens to mask
+    the miscompile dynamically.
     """
     machine = resolve_machine(machine, executor=executor,
                               where="run_oracle")
@@ -338,7 +375,7 @@ def run_oracle(spec: KernelSpec,
         arm_list.insert(0, "noopt")
 
     for arm in arm_list:
-        report = _compile_arm(arm, spec, cfm_config)
+        report = _compile_arm(arm, spec, cfm_config, validate=validate)
         if report.failure is None:
             _run_arm(report, spec, input_seeds, machine=machine)
         verdict.arms[arm] = report

@@ -7,6 +7,8 @@ kernel per level: compilation mutates the IR) and lints the result::
     python -m repro.lint --kernels BIT,PCM --levels o3,o3-cfm
     python -m repro.lint --sarif lint.sarif --json lint.json
     python -m repro.lint --fail-on warning        # strict lane
+    python -m repro.lint --list-rules             # print the rule catalog
+    python -m repro.lint --validate-melds         # + translation validation
 
 Exit status is 1 when any diagnostic at or above ``--fail-on``
 (default: error) was produced, 0 otherwise — the CI lint job is exactly
@@ -20,8 +22,9 @@ import json
 import sys
 from typing import Dict, List, Tuple
 
-from .api import LINT_LEVELS, lint_at_level
+from .api import LINT_LEVELS, compile_at_level
 from .diagnostics import LintConfig, LintReport, Severity
+from .engine import run_lint
 from .sarif import write_sarif
 
 
@@ -52,7 +55,28 @@ def _parse_args(argv) -> argparse.Namespace:
                         help="write a SARIF 2.1.0 report")
     parser.add_argument("--json", metavar="FILE",
                         help="write the raw reports as JSON")
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the registered rules (id, default severity, "
+             "description) and exit")
+    parser.add_argument(
+        "--validate-melds", action="store_true",
+        help="run the CFM pass with symbolic translation validation "
+             "enabled at the o3-cfm level; verdicts feed the "
+             "meld-legality audit (INEQUIVALENT melds become errors) "
+             "and a per-kernel verdict summary is printed")
     return parser.parse_args(argv)
+
+
+def _list_rules() -> int:
+    from .engine import all_rules
+
+    rules = all_rules()
+    width = max(len(rule.id) for rule in rules)
+    for rule in rules:
+        print(f"{rule.id:<{width}}  {rule.severity:<7}  {rule.description}")
+    print(f"{len(rules)} rule(s)")
+    return 0
 
 
 def _select(csv: str, universe, what: str) -> List[str]:
@@ -68,19 +92,33 @@ def _select(csv: str, universe, what: str) -> List[str]:
 
 def run(argv=None) -> int:
     args = _parse_args(argv)
+    if args.list_rules:
+        return _list_rules()
     from repro.kernels import ALL_BUILDERS
 
     kernels = _select(args.kernels, ALL_BUILDERS, "kernels")
     levels = _select(args.levels, LINT_LEVELS, "levels")
     config = LintConfig(disabled={r.strip() for r in args.disable.split(",")
                                   if r.strip()})
+    cfm_config = None
+    if args.validate_melds:
+        from repro.core import CFMConfig
+        cfm_config = CFMConfig(validate=True)
 
     reports: List[Tuple[str, str, LintReport]] = []
+    verdicts: Dict[str, int] = {}
     for name in kernels:
         for level in levels:
             case = ALL_BUILDERS[name]()
-            report = lint_at_level(case, level, config=config)
+            function = case.function
+            decisions = compile_at_level(function, level,
+                                         cfm_config=cfm_config)
+            report = run_lint(function, config=config, decisions=decisions)
             reports.append((name, level, report))
+            for decision in decisions or []:
+                verdict = getattr(decision, "validation", None)
+                if verdict is not None:
+                    verdicts[verdict] = verdicts.get(verdict, 0) + 1
 
     worst_hit = False
     shown = 0
@@ -101,6 +139,10 @@ def run(argv=None) -> int:
     print(f"linted {len(kernels)} kernel(s) x {len(levels)} level(s): "
           f"{errors} error(s), {warnings} warning(s), "
           f"{total - errors - warnings} info")
+    if args.validate_melds:
+        summary = ", ".join(f"{k}={v}" for k, v in sorted(verdicts.items())) \
+            or "no melds"
+        print(f"meld translation validation: {summary}")
 
     if args.sarif:
         write_sarif(args.sarif, [r for _, _, r in reports])

@@ -67,6 +67,11 @@ class Diagnostic:
     block: Optional[str] = None
     #: offending instruction rendered via the IR printer
     instruction: Optional[str] = None
+    #: 1-indexed position inside the printed-IR artifact
+    #: (:func:`repro.ir.printer.print_function` of the linted function);
+    #: None when the finding has no block/instruction anchor
+    line: Optional[int] = None
+    column: Optional[int] = None
     #: extra machine-readable facts (rule-specific)
     data: Dict[str, object] = field(default_factory=dict)
 
@@ -100,6 +105,9 @@ class Diagnostic:
             "block": self.block,
             "instruction": self.instruction,
         }
+        if self.line is not None:
+            record["line"] = self.line
+            record["column"] = self.column
         if self.data:
             record["data"] = dict(self.data)
         return record
@@ -151,6 +159,9 @@ class LintReport:
     diagnostics: List[Diagnostic] = field(default_factory=list)
     #: rules that actually ran (after config suppression), in run order
     rules_run: List[str] = field(default_factory=list)
+    #: printed IR of the linted function, captured when the report is
+    #: dirty — the artifact the diagnostics' line/column point into
+    ir_text: Optional[str] = None
 
     @property
     def ok(self) -> bool:

@@ -27,6 +27,7 @@ from repro.analysis.dominators import (
     postdominance_frontier,
 )
 from repro.analysis.loops import LoopInfo, compute_loop_info
+from repro.analysis.ranges import ValueRanges, compute_ranges
 from repro.ir.block import BasicBlock
 from repro.ir.function import Function
 from repro.ir.instructions import Instruction
@@ -62,6 +63,8 @@ class LintContext:
         self._loops: Optional[LoopInfo] = None
         self._reachable: Optional[Set[BasicBlock]] = None
         self._divergent_deps: Dict[BasicBlock, bool] = {}
+        self._ranges: Optional[ValueRanges] = None
+        self._ir_lines: Optional[Dict[object, "Tuple[int, int]"]] = None
 
     # ---- memoized analyses ------------------------------------------------
 
@@ -103,6 +106,49 @@ class LintContext:
         if self._reachable is None:
             self._reachable = reachable_blocks(self.function)
         return self._reachable
+
+    @property
+    def ranges(self) -> ValueRanges:
+        """Interval value ranges (``repro.analysis.ranges``), seeded with
+        the thread-geometry intrinsics' bounds — one sparse fixpoint
+        shared by every range-based rule."""
+        if self._ranges is None:
+            self._ranges = compute_ranges(self.function)
+        return self._ranges
+
+    # ---- printed-IR locations ---------------------------------------------
+
+    def printed_location(self, block: Optional[BasicBlock],
+                         instruction: Optional[Instruction]
+                         ) -> "Tuple[Optional[int], Optional[int]]":
+        """(line, column), 1-indexed, of a finding's anchor inside
+        :func:`repro.ir.printer.print_function` output.
+
+        The map mirrors the printer's fixed layout — ``define`` on line
+        1, then per block one label line followed by one line per
+        instruction at two-space indentation — so no text parsing is
+        needed and the answer stays exact as long as the diagnostic and
+        the printed artifact come from the same IR state.
+        """
+        if self._ir_lines is None:
+            lines: Dict[object, Tuple[int, int]] = {}
+            line = 1  # line 1 is the "define" header
+            for blk in self.function.blocks:
+                line += 1
+                lines[blk.name] = (line, 1)
+                for instr in blk:
+                    line += 1
+                    lines[id(instr)] = (line, 3)
+            self._ir_lines = lines
+        if instruction is not None:
+            found = self._ir_lines.get(id(instruction))
+            if found is not None:
+                return found
+        if block is not None:
+            found = self._ir_lines.get(block.name)
+            if found is not None:
+                return found
+        return None, None
 
     # ---- derived queries --------------------------------------------------
 
@@ -167,6 +213,7 @@ class LintRule:
         """Build one diagnostic at the given location, applying the
         run's severity override for this rule."""
         default = severity if severity is not None else self.severity
+        line, column = ctx.printed_location(block, instruction)
         return Diagnostic(
             rule=self.id,
             severity=ctx.config.severity_for(self.id, default),
@@ -175,6 +222,8 @@ class LintRule:
             block=block.name if block is not None else None,
             instruction=(format_instruction(instruction)
                          if instruction is not None else None),
+            line=line,
+            column=column,
             data=dict(data),
         )
 
@@ -249,4 +298,11 @@ def run_lint(function: Function,
                 tracer.instant(f"lint:{diagnostic.rule}", cat="lint",
                                pid=COMPILE_PID,
                                args=diagnostic.as_dict())
+    if report.diagnostics:
+        # Capture the IR text the line/column coordinates index into, so
+        # the SARIF writer can embed it as the physical artifact.  Only
+        # paid on a dirty report — the hot differential-lint path stays
+        # print-free.
+        from repro.ir.printer import print_function
+        report.ir_text = print_function(function)
     return report

@@ -15,10 +15,18 @@ Each rule encodes one GPU-semantics contract the verifier cannot see
   behaviour in this IR (warning) — legal late if-conversion hoists CFM
   selects above their guards.
 * ``dead-store`` / ``unreachable-block`` — classic hygiene findings.
+* ``out-of-bounds-access`` — a memory access through a GEP on a sized
+  global whose index interval (``repro.analysis.ranges``) lies entirely
+  outside the array: every executing thread faults.
+* ``tautological-branch`` — a conditional branch whose condition the
+  interval analysis decides statically: the other side is dead weight
+  (and, post-CFM, often a sign a guard lost its meaning).
 * ``meld-legality`` — audits the CFM pass's own decision log: a melded
-  region's entry branch must have been divergent (Definition 5), and the
+  region's entry branch must have been divergent (Definition 5), the
   guard blocks unpredication created for side-effecting runs must still
-  be guarded by a conditional branch (§IV-E).
+  be guarded by a conditional branch (§IV-E), and a meld whose symbolic
+  translation validation (``repro.analysis.validate``) came back
+  ``INEQUIVALENT`` is reported as an error.
 
 Importing this module populates the registry; :mod:`repro.lint.engine`
 stays rule-agnostic.
@@ -286,20 +294,100 @@ class UnreachableBlockRule(LintRule):
 
 
 @register
+class OutOfBoundsAccessRule(LintRule):
+    """A GEP index interval provably outside its global's bounds."""
+
+    id = "out-of-bounds-access"
+    severity = Severity.ERROR
+    description = ("a load/store addresses a sized global through an index "
+                   "whose value range lies entirely outside the array — "
+                   "every thread that executes the access faults")
+
+    def check(self, ctx: LintContext) -> Iterable[Diagnostic]:
+        for block in ctx.function.blocks:
+            if block not in ctx.reachable:
+                continue
+            for instr in block:
+                pointer = getattr(instr, "pointer", None)
+                if not isinstance(instr, (Load, Store)) or \
+                        not isinstance(pointer, GetElementPtr):
+                    continue
+                base = pointer.base
+                if not isinstance(base, GlobalVariable):
+                    continue
+                interval = ctx.ranges.range_of(pointer.index)
+                if interval.empty:
+                    continue  # dynamically unreachable computation
+                if not interval.intersects(0, base.element_count - 1):
+                    yield self.diag(
+                        ctx,
+                        f"index range {interval} never falls inside "
+                        f"@{base.name}[0..{base.element_count - 1}]",
+                        block=block, instruction=instr,
+                        array=base.name,
+                        element_count=base.element_count)
+
+
+@register
+class TautologicalBranchRule(LintRule):
+    """A conditional branch the interval analysis decides statically."""
+
+    id = "tautological-branch"
+    severity = Severity.WARNING
+    description = ("a conditional branch's condition is decided by the "
+                   "value-range analysis (always true or always false): "
+                   "one successor is statically dead, which usually means "
+                   "a guard that lost its meaning or a missed fold")
+
+    def check(self, ctx: LintContext) -> Iterable[Diagnostic]:
+        from repro.ir.values import Constant
+
+        for block in ctx.function.blocks:
+            if block not in ctx.reachable:
+                continue
+            term = block.terminator
+            if not isinstance(term, Branch) or not term.is_conditional:
+                continue
+            condition = term.condition
+            if isinstance(condition, (Constant, Undef)):
+                continue  # simplifycfg / undef-use own those findings
+            decided = ctx.ranges.decided_condition(condition)
+            if decided is not None:
+                dead = (term.false_successor if decided
+                        else term.true_successor)
+                yield self.diag(
+                    ctx,
+                    f"branch condition is always {str(decided).lower()}; "
+                    f"%{dead.name} is statically dead",
+                    block=block, instruction=term,
+                    always=decided, dead_successor=dead.name)
+
+
+@register
 class MeldLegalityRule(LintRule):
     """Audit the CFM pass's decisions against the divergence analysis."""
 
     id = "meld-legality"
     severity = Severity.ERROR
     description = ("a melded region's entry branch must have been "
-                   "divergent (Definition 5), and every guard block "
+                   "divergent (Definition 5), every guard block "
                    "unpredication created for a side-effecting run must "
-                   "still sit behind a conditional branch (§IV-E)")
+                   "still sit behind a conditional branch (§IV-E), and "
+                   "no accepted meld may carry an INEQUIVALENT "
+                   "translation-validation verdict")
 
     def check(self, ctx: LintContext) -> Iterable[Diagnostic]:
         for decision in ctx.decisions:
             if not getattr(decision, "accepted", False):
                 continue
+            if getattr(decision, "validation", None) == "INEQUIVALENT":
+                yield self.diag(
+                    ctx,
+                    f"meld at %{decision.region_entry} failed symbolic "
+                    f"translation validation (INEQUIVALENT): the rewrite "
+                    f"provably changes an observable under some mask case",
+                    region_entry=decision.region_entry,
+                    iteration=decision.iteration)
             if getattr(decision, "branch_divergent", None) is False:
                 yield self.diag(
                     ctx,

@@ -1,17 +1,21 @@
 """SARIF 2.1.0 rendering of lint reports.
 
-The kernels have no source files — the IR lives in memory — so results
-carry *logical* locations only (``fullyQualifiedName`` =
-``function:block``), which SARIF supports for exactly this case.  One
-``run`` covers all linted functions; the rule catalog is embedded in
-``tool.driver.rules`` so viewers (GitHub code scanning, VS Code SARIF
-viewer) can show descriptions without the repo.
+The kernels have no source files — the IR lives in memory — so every
+result carries a *logical* location (``fullyQualifiedName`` =
+``function:block``), and, when the diagnostic has a printed-IR anchor,
+a *physical* location as well: the artifact is the printed IR of the
+linted function (``ir/<function>.ir``), embedded into the run's
+``artifacts`` array with its full text so SARIF viewers (GitHub code
+scanning, VS Code) can highlight the exact ``line:column`` region
+without any file on disk.  One ``run`` covers all linted functions; the
+rule catalog is embedded in ``tool.driver.rules`` so viewers can show
+descriptions without the repo.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Dict, Iterable, List
+from typing import Dict, Iterable, List, Optional
 
 from .diagnostics import Diagnostic, LintReport, Severity
 from .engine import all_rules
@@ -32,24 +36,41 @@ def _rule_descriptor(rule) -> Dict[str, object]:
     }
 
 
-def _result(diag: Diagnostic) -> Dict[str, object]:
+def _artifact_uri(function: str) -> str:
+    return f"ir/{function}.ir"
+
+
+def _result(diag: Diagnostic, artifact_index: Optional[int],
+            artifact_uri: Optional[str]) -> Dict[str, object]:
     qualified = diag.function
     if diag.block is not None:
         qualified += f":{diag.block}"
     message = diag.message
     if diag.instruction:
         message += f" | {diag.instruction}"
+    location: Dict[str, object] = {
+        "logicalLocations": [{
+            "fullyQualifiedName": qualified,
+            "name": diag.block or diag.function,
+            "kind": "function" if diag.block is None else "member",
+        }],
+    }
+    if diag.line is not None and artifact_index is not None:
+        location["physicalLocation"] = {
+            "artifactLocation": {
+                "uri": artifact_uri,
+                "index": artifact_index,
+            },
+            "region": {
+                "startLine": diag.line,
+                "startColumn": diag.column or 1,
+            },
+        }
     result: Dict[str, object] = {
         "ruleId": diag.rule,
         "level": Severity.SARIF_LEVEL[diag.severity],
         "message": {"text": message},
-        "locations": [{
-            "logicalLocations": [{
-                "fullyQualifiedName": qualified,
-                "name": diag.block or diag.function,
-                "kind": "function" if diag.block is None else "member",
-            }],
-        }],
+        "locations": [location],
     }
     if diag.data:
         result["properties"] = {str(k): v for k, v in diag.data.items()}
@@ -58,22 +79,46 @@ def _result(diag: Diagnostic) -> Dict[str, object]:
 
 def to_sarif(reports: Iterable[LintReport]) -> Dict[str, object]:
     """One SARIF log document covering ``reports``."""
+    reports = list(reports)
+    # One embedded artifact per dirty report: the printed IR that
+    # report's line/column coordinates index into.  The same kernel can
+    # appear once per opt level with different IR, so artifacts are
+    # per-report, not per-function (repeats get a numbered uri).
+    artifacts: List[Dict[str, object]] = []
     results: List[Dict[str, object]] = []
+    seen_uris: Dict[str, int] = {}
     for report in reports:
-        results.extend(_result(d) for d in report.diagnostics)
+        index: Optional[int] = None
+        uri: Optional[str] = None
+        if report.ir_text is not None:
+            uri = _artifact_uri(report.function)
+            repeat = seen_uris.get(uri, 0)
+            seen_uris[uri] = repeat + 1
+            if repeat:
+                uri = _artifact_uri(f"{report.function}.{repeat}")
+            index = len(artifacts)
+            artifacts.append({
+                "location": {"uri": uri},
+                "sourceLanguage": "llvm-ir",
+                "contents": {"text": report.ir_text},
+            })
+        results.extend(_result(d, index, uri) for d in report.diagnostics)
+    run: Dict[str, object] = {
+        "tool": {
+            "driver": {
+                "name": TOOL_NAME,
+                "informationUri": "https://example.invalid/repro-lint",
+                "rules": [_rule_descriptor(r) for r in all_rules()],
+            },
+        },
+        "results": results,
+    }
+    if artifacts:
+        run["artifacts"] = artifacts
     return {
         "$schema": SARIF_SCHEMA,
         "version": SARIF_VERSION,
-        "runs": [{
-            "tool": {
-                "driver": {
-                    "name": TOOL_NAME,
-                    "informationUri": "https://example.invalid/repro-lint",
-                    "rules": [_rule_descriptor(r) for r in all_rules()],
-                },
-            },
-            "results": results,
-        }],
+        "runs": [run],
     }
 
 

@@ -74,6 +74,7 @@ from .metrics import (
     record_cfm_decisions,
     record_pass_seconds,
     record_task_seconds,
+    record_validate_verdict,
     render_prometheus,
     runtime_sink,
     set_registry,
@@ -109,7 +110,8 @@ __all__ = [
     "SECONDS_BUCKETS", "CYCLES_BUCKETS", "RATE_BUCKETS",
     "render_prometheus", "bridge_to_tracer", "runtime_sink",
     "record_pass_seconds", "record_cache_lookup", "record_cache_eviction",
-    "record_cfm_decisions", "record_task_seconds", "update_cache_hit_ratio",
+    "record_cfm_decisions", "record_task_seconds", "record_validate_verdict",
+    "update_cache_hit_ratio",
 ]
 
 #: the ambient tracer every instrumentation site reads

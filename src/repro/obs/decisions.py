@@ -83,6 +83,9 @@ class MeldingDecision:
     #: names of the guard blocks unpredication created for side-effecting
     #: gap runs (each must stay dominated by its guard branch)
     guard_blocks: List[str] = field(default_factory=list)
+    #: translation-validation verdict for an accepted meld
+    #: ("EQUIVALENT" | "INEQUIVALENT" | "UNSUPPORTED"; None = not run)
+    validation: Optional[str] = None
 
     @property
     def accepted(self) -> bool:
@@ -119,6 +122,8 @@ class MeldingDecision:
             record["branch_divergent"] = self.branch_divergent
         if self.guard_blocks:
             record["guard_blocks"] = list(self.guard_blocks)
+        if self.validation is not None:
+            record["validation"] = self.validation
         return record
 
     @classmethod
@@ -154,6 +159,7 @@ class MeldingDecision:
             decision.unpredicated = bool(record.get("unpredicated", False))
         decision.branch_divergent = record.get("branch_divergent")
         decision.guard_blocks = list(record.get("guard_blocks", []))
+        decision.validation = record.get("validation")
         return decision
 
 

@@ -708,6 +708,22 @@ def record_cfm_decisions(decisions, registry=None) -> None:
         family.labels(action=decision.action).inc()
 
 
+def record_validate_verdict(verdict: str, seconds: float,
+                            registry=None) -> None:
+    """Compile layer: one meld's translation-validation outcome."""
+    registry = registry if registry is not None else _current
+    if not registry.enabled:
+        return
+    registry.counter(
+        "repro_compile_validate_total",
+        "Meld translation validations, by verdict"
+    ).labels(verdict=verdict).inc()
+    registry.histogram(
+        "repro_compile_validate_seconds",
+        "Wall time of one meld's symbolic translation validation",
+        buckets=SECONDS_BUCKETS).observe(seconds)
+
+
 def record_task_seconds(seconds: float, registry=None) -> None:
     """Evaluation layer: one sweep task's wall time."""
     registry = registry if registry is not None else _current

@@ -15,6 +15,7 @@ from .pass_manager import (
     PassPipeline,
     PassResult,
     PassTiming,
+    ValidateMeldsHook,
     as_pass,
 )
 from .dce import eliminate_dead_code
@@ -42,7 +43,8 @@ from .licm import hoist_loop_invariants
 
 __all__ = [
     "AfterPassHook", "CallablePass", "FixpointError", "FunctionPass",
-    "Pass", "PassPipeline", "PassResult", "PassTiming", "as_pass",
+    "Pass", "PassPipeline", "PassResult", "PassTiming", "ValidateMeldsHook",
+    "as_pass",
     "eliminate_dead_code", "fold_constants",
     "eliminate_common_subexpressions",
     "fold_redundant_branches", "merge_straightline_blocks",

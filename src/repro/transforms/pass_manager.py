@@ -58,6 +58,10 @@ FunctionPass = Callable[[Function], bool]
 #: hook signature for ``PassPipeline(verify_after_each=...)``
 AfterPassHook = Callable[[str, Function], None]
 
+#: hook signature for ``PassPipeline(validate_melds=...)`` — also receives
+#: the :class:`PassResult`, whose stats carry per-meld validation verdicts
+ValidateMeldsHook = Callable[[str, Function, "PassResult"], None]
+
 
 @dataclass
 class PassResult:
@@ -160,7 +164,8 @@ class PassPipeline:
                  passes: Optional[Sequence[Union[Pass, Tuple[str, FunctionPass]]]] = None,
                  verify: bool = False, collect_ir_stats: bool = False,
                  verify_after_each: Optional[AfterPassHook] = None,
-                 lint_after_each: Optional[AfterPassHook] = None) -> None:
+                 lint_after_each: Optional[AfterPassHook] = None,
+                 validate_melds: Optional[ValidateMeldsHook] = None) -> None:
         self._passes: List[Pass] = []
         for entry in passes or []:
             if isinstance(entry, Pass):
@@ -175,6 +180,11 @@ class PassPipeline:
         #: like ``verify_after_each`` but for semantic diagnostics; runs
         #: after it, so lint sees only verifier-clean IR
         self.lint_after_each = lint_after_each
+        #: callable ``(pass_name, function, result)`` invoked after every
+        #: pass execution, last of the three hooks; the standard hook is
+        #: :func:`repro.analysis.validate.validate_melds_hook`, which
+        #: raises on any INEQUIVALENT meld the pass recorded
+        self.validate_melds = validate_melds
         self.collect_ir_stats = collect_ir_stats
         #: pass executions of the most recent run()/run_to_fixpoint() call
         self.timings: List[PassTiming] = []
@@ -241,6 +251,8 @@ class PassPipeline:
                 self.verify_after_each(pass_.name, function)
             if self.lint_after_each is not None:
                 self.lint_after_each(pass_.name, function)
+            if self.validate_melds is not None:
+                self.validate_melds(pass_.name, function, result)
         return changed
 
     def run(self, function: Function) -> bool:

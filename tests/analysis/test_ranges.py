@@ -1,0 +1,206 @@
+"""Tests for the interval value-range analysis."""
+
+from repro.analysis import Interval, compute_ranges
+from repro.ir import I32
+
+from tests.support import parse
+
+
+def _value(f, name):
+    for block in f.blocks:
+        for instr in block:
+            if getattr(instr, "name", None) == name:
+                return instr
+    raise AssertionError(f"no value named {name!r}")
+
+
+def _ranges_of(text, *names):
+    f = parse(text)
+    ranges = compute_ranges(f)
+    return ranges, [_value(f, n) for n in names]
+
+
+class TestInterval:
+    def test_join_is_the_convex_hull(self):
+        assert Interval(0, 3).join(Interval(7, 9)) == Interval(0, 9)
+
+    def test_empty_is_the_join_identity(self):
+        iv = Interval(2, 5)
+        from repro.analysis.ranges import EMPTY
+        assert EMPTY.join(iv) == iv
+        assert iv.join(EMPTY) == iv
+
+    def test_intersects_and_contains(self):
+        iv = Interval(4, 8)
+        assert iv.intersects(0, 4)
+        assert iv.intersects(8, 100)
+        assert not iv.intersects(0, 3)
+        assert not iv.intersects(9, 100)
+        assert iv.contains(6)
+        assert not iv.contains(9)
+
+    def test_widen_blows_only_the_moving_bound(self):
+        # lo stable at 0, hi grew 3 -> 4: widening drops hi to unbounded.
+        assert Interval(0, 4).widen(Interval(0, 3)) == Interval(0, None)
+        # Both bounds stable: widening is the identity.
+        assert Interval(0, 3).widen(Interval(0, 3)) == Interval(0, 3)
+
+
+class TestThreadGeometrySeeds:
+    def test_tid_is_nonnegative(self):
+        ranges, (tid,) = _ranges_of("""
+define void @k() {
+entry:
+  %tid = call i32 @llvm.gpu.tid.x()
+  ret void
+}
+""", "tid")
+        iv = ranges.range_of(tid)
+        assert iv.lo == 0
+        assert iv.hi == I32.max_value
+
+    def test_ntid_is_at_least_one(self):
+        ranges, (ntid,) = _ranges_of("""
+define void @k() {
+entry:
+  %ntid = call i32 @llvm.gpu.ntid.x()
+  ret void
+}
+""", "ntid")
+        assert ranges.range_of(ntid).lo == 1
+
+
+class TestTransferFunctions:
+    def test_constant_arithmetic_folds_exactly(self):
+        ranges, (x,) = _ranges_of("""
+define void @k() {
+entry:
+  %x = add i32 2, 3
+  ret void
+}
+""", "x")
+        assert ranges.range_of(x) == Interval.exact(5)
+
+    def test_mask_bounds_a_divergent_value(self):
+        ranges, (m,) = _ranges_of("""
+define void @k() {
+entry:
+  %tid = call i32 @llvm.gpu.tid.x()
+  %m = and i32 %tid, 7
+  ret void
+}
+""", "m")
+        assert ranges.range_of(m) == Interval(0, 7)
+
+    def test_urem_bounds_by_the_divisor(self):
+        ranges, (r,) = _ranges_of("""
+define void @k() {
+entry:
+  %tid = call i32 @llvm.gpu.tid.x()
+  %r = urem i32 %tid, 8
+  ret void
+}
+""", "r")
+        assert ranges.range_of(r) == Interval(0, 7)
+
+    def test_select_joins_both_arms(self):
+        ranges, (s,) = _ranges_of("""
+define void @k(i1 %c) {
+entry:
+  %s = select i1 %c, i32 1, i32 5
+  ret void
+}
+""", "s")
+        assert ranges.range_of(s) == Interval(1, 5)
+
+    def test_possible_overflow_collapses_to_the_type_range(self):
+        ranges, (x,) = _ranges_of("""
+define void @k() {
+entry:
+  %x = add i32 2000000000, 2000000000
+  ret void
+}
+""", "x")
+        assert ranges.range_of(x) == Interval.of_type(I32)
+
+    def test_loop_counter_terminates_with_widening(self):
+        ranges, (i,) = _ranges_of("""
+define void @k(i32 %n) {
+entry:
+  br label %h
+h:
+  %i = phi i32 [ 0, %entry ], [ %ni, %h ]
+  %ni = add i32 %i, 1
+  %c = icmp slt i32 %ni, %n
+  br i1 %c, label %h, label %x
+x:
+  ret void
+}
+""", "i")
+        # Convergence itself is the headline: an unbounded counter must
+        # widen (to the full/unbounded range) instead of iterating forever.
+        assert not ranges.range_of(i).empty
+
+    def test_masked_loop_counter_keeps_finite_bounds(self):
+        ranges, (i,) = _ranges_of("""
+define void @k(i32 %n) {
+entry:
+  br label %h
+h:
+  %i = phi i32 [ 0, %entry ], [ %m, %h ]
+  %ni = add i32 %i, 1
+  %m = and i32 %ni, 7
+  %c = icmp slt i32 %i, %n
+  br i1 %c, label %h, label %x
+x:
+  ret void
+}
+""", "i")
+        # The mask caps the loop-carried value, so the fixpoint is exact.
+        assert ranges.range_of(i) == Interval(0, 7)
+
+
+class TestDecidedConditions:
+    def test_tid_nonnegativity_decides_a_comparison(self):
+        ranges, (c,) = _ranges_of("""
+define void @k() {
+entry:
+  %tid = call i32 @llvm.gpu.tid.x()
+  %c = icmp sge i32 %tid, 0
+  ret void
+}
+""", "c")
+        assert ranges.decided_condition(c) is True
+
+    def test_impossible_comparison_decides_false(self):
+        ranges, (c,) = _ranges_of("""
+define void @k() {
+entry:
+  %tid = call i32 @llvm.gpu.tid.x()
+  %c = icmp slt i32 %tid, 0
+  ret void
+}
+""", "c")
+        assert ranges.decided_condition(c) is False
+
+    def test_genuinely_divergent_condition_stays_open(self):
+        ranges, (c,) = _ranges_of("""
+define void @k() {
+entry:
+  %tid = call i32 @llvm.gpu.tid.x()
+  %p = and i32 %tid, 1
+  %c = icmp eq i32 %p, 0
+  ret void
+}
+""", "c")
+        assert ranges.decided_condition(c) is None
+
+    def test_non_bool_values_are_never_decided(self):
+        ranges, (x,) = _ranges_of("""
+define void @k() {
+entry:
+  %x = add i32 1, 0
+  ret void
+}
+""", "x")
+        assert ranges.decided_condition(x) is None

@@ -1,0 +1,130 @@
+"""Tests for symbolic translation validation of melds.
+
+Three layers, innermost out:
+
+* :class:`RegionCapture` as a unit — snapshot a region, optionally
+  mutate the live IR, and diff;
+* the CFM pass with ``CFMConfig(validate=True)`` — every accepted meld
+  on every benchmark kernel must verdict ``EQUIVALENT``, through both
+  the direct pass pipeline and the lint layer's ``compile_at_level``;
+* the :func:`validate_melds_hook` pipeline hook — a corrupted melder
+  must raise :class:`MeldValidationError` at the guilty pass.
+"""
+
+import pytest
+
+import repro
+from repro import CFMConfig, CFMPass, late_pipeline, o3_pipeline
+from repro.analysis import (
+    EQUIVALENT,
+    INEQUIVALENT,
+    UNSUPPORTED,
+    MeldValidationError,
+    RegionCapture,
+    validate_melds_hook,
+)
+from repro.ir import I32
+from repro.ir.values import Constant
+from repro.kernels import ALL_BUILDERS
+from repro.transforms import PassPipeline
+
+from tests.support import build_diamond
+
+
+def _capture_diamond():
+    f = build_diamond()
+    entry, then, els, merge = f.blocks
+    return f, RegionCapture(entry, merge, entry.terminator.condition)
+
+
+class TestRegionCapture:
+    def test_unmodified_region_is_equivalent(self):
+        _, capture = _capture_diamond()
+        validation = capture.compare_against_current()
+        assert validation.verdict == EQUIVALENT
+        assert validation.paths > 0
+        assert validation.ok
+
+    def test_mutated_region_is_inequivalent(self):
+        f, capture = _capture_diamond()
+        then = f.blocks[1]
+        add = next(i for i in then if getattr(i, "name", "") == "ra")
+        add.set_operand(1, Constant(I32, 2))  # was +1, now +2
+        validation = capture.compare_against_current()
+        assert validation.verdict == INEQUIVALENT
+        assert not validation.ok
+        assert "differs" in validation.detail
+
+    def test_path_cap_degrades_to_unsupported_not_wrong(self):
+        f = build_diamond()
+        entry, then, els, merge = f.blocks
+        capture = RegionCapture(entry, merge, entry.terminator.condition,
+                                max_paths=0)
+        validation = capture.compare_against_current()
+        assert validation.verdict == UNSUPPORTED
+        assert validation.ok  # soundness boundary: not a conviction
+
+
+def _compile_with_validation(function):
+    """o3 fixpoint, CFM with validation, late cleanups; returns stats."""
+    o3_pipeline().run_to_fixpoint(function)
+    cfm = CFMPass(CFMConfig(validate=True))
+    cfm.run(function)
+    late_pipeline().run(function)
+    return cfm.stats
+
+
+class TestBenchmarkKernelsValidate:
+    def test_every_meld_on_every_benchmark_kernel_is_equivalent(self):
+        total = 0
+        for name, builder in sorted(ALL_BUILDERS.items()):
+            stats = _compile_with_validation(builder().function)
+            for validation in stats.validations:
+                assert validation.verdict == EQUIVALENT, (
+                    f"{name}: meld at {validation.region_entry!r} is "
+                    f"{validation.verdict}: {validation.detail}")
+            total += len(stats.validations)
+        assert total > 0, "no benchmark kernel melded — sweep is vacuous"
+
+    def test_lint_compile_path_stamps_verdicts_on_decisions(self):
+        from repro.lint import compile_at_level
+
+        verdicts = set()
+        for name, builder in sorted(ALL_BUILDERS.items()):
+            decisions = compile_at_level(builder().function, "o3-cfm",
+                                         cfm_config=CFMConfig(validate=True))
+            for decision in decisions or []:
+                if decision.accepted:
+                    assert decision.validation is not None
+                    verdicts.add(decision.validation)
+        assert verdicts == {EQUIVALENT}
+
+    def test_validation_off_by_default_records_nothing(self):
+        case = next(iter(sorted(ALL_BUILDERS.items())))[1]()
+        function = case.function
+        o3_pipeline().run_to_fixpoint(function)
+        cfm = CFMPass(CFMConfig())
+        cfm.run(function)
+        assert cfm.stats.validations == []
+        assert all(d.validation is None for d in cfm.stats.decisions)
+
+
+class TestValidateMeldsHook:
+    def _run_cfm_stage(self, function):
+        o3_pipeline().run_to_fixpoint(function)
+        pipeline = PassPipeline([CFMPass(CFMConfig(validate=True))],
+                                validate_melds=validate_melds_hook)
+        pipeline.run(function)
+
+    def test_healthy_compile_passes_the_hook(self):
+        self._run_cfm_stage(build_diamond())  # must not raise
+
+    def test_corrupted_meld_raises_at_the_guilty_pass(self):
+        from repro.difftest import inject
+
+        with inject("meld-swap-operand-under-mask"):
+            with pytest.raises(MeldValidationError) as excinfo:
+                self._run_cfm_stage(build_diamond())
+        assert excinfo.value.pass_name == "cfm"
+        assert excinfo.value.validation.verdict == INEQUIVALENT
+        assert "INEQUIVALENT" in str(excinfo.value)

@@ -12,6 +12,7 @@ from pathlib import Path
 import pytest
 
 from repro.difftest import (
+    KernelSpec,
     generate_spec,
     inject,
     load_entry,
@@ -109,6 +110,115 @@ class TestDropBarrier:
             assert not run_oracle(result.spec).ok
         # Replays clean once the bug is gone.
         assert run_oracle(result.spec).ok
+
+
+def _op(array, ops, salt):
+    return {"kind": "op", "array": array, "ops": list(ops), "salt": salt,
+            "index": "id"}
+
+
+def _masked_spec() -> KernelSpec:
+    """A kernel whose divergence condition is *dynamically one-sided*.
+
+    ``block_dim=4`` with a stripe condition on bit 4 means
+    ``tid & 4 == 0`` holds for every launched thread: the condition is
+    statically divergent (so CFM melds the region and blends the
+    differing salts with selects) but no thread ever takes the
+    else-path at runtime — the blending select's false arm is
+    dynamically dead.  Padding statements around and inside the region
+    give the shrinker something real to remove.
+    """
+    masked_if = {
+        "kind": "if",
+        "cond": {"kind": "stripe", "bit": 4},
+        "then": [_op("a", ["add", "xor"], 3),
+                 {"kind": "mix", "dst": "b", "src": "a", "op": "xor"},
+                 _op("b", ["sub"], 6)],
+        "else": [_op("a", ["add", "xor"], 9),
+                 {"kind": "mix", "dst": "b", "src": "a", "op": "xor"},
+                 _op("b", ["sub"], 11)],
+    }
+    body = [
+        {"kind": "mix", "dst": "a", "src": "b", "op": "add"},
+        _op("b", ["add", "mul"], 5),
+        {"kind": "mix", "dst": "b", "src": "a", "op": "or"},
+        masked_if,
+        _op("a", ["sub"], 2),
+        {"kind": "mix", "dst": "b", "src": "a", "op": "or"},
+        _op("b", ["max"], 7),
+    ]
+    return KernelSpec(seed=0, block_dim=4, grid_dim=2, n=1, body=body)
+
+
+def _validate_fails(spec: KernelSpec) -> bool:
+    return not run_oracle(spec, arms=("o3-cfm",), validate=True).ok
+
+
+class TestMeldSwapOperandUnderMask:
+    """A miscompile only the *static* oracle can see: the melder's
+    blending select gets its false arm overwritten with its true arm,
+    on a kernel whose launch geometry never executes the false case."""
+
+    def test_only_the_validator_catches_it(self):
+        spec = _masked_spec()
+        # The spec melds and validates clean on the healthy compiler.
+        healthy = run_oracle(spec, validate=True)
+        assert healthy.ok
+        assert healthy.arms["o3-cfm"].melds > 0
+
+        with inject("meld-swap-operand-under-mask"):
+            # Every dynamic oracle is blind: outputs bit-identical,
+            # IR well-formed, no lint regression.
+            dynamic = run_oracle(spec)
+            assert dynamic.ok, [str(f) for f in dynamic.failures]
+            # Translation validation proves the never-executed mask case
+            # and convicts the meld.
+            static = run_oracle(spec, validate=True)
+            assert not static.ok
+            assert static.validate_failures > 0
+            assert static.mismatches == 0
+            assert static.verifier_failures == 0
+            assert static.lint_failures == 0
+            failure = next(f for f in static.failures
+                           if f.kind == "validate")
+            assert failure.arm == "o3-cfm"
+            assert failure.pass_name == "cfm"
+            assert "INEQUIVALENT" in failure.detail
+        # Healthy again, the same spec validates EQUIVALENT.
+        assert run_oracle(spec, validate=True).ok
+
+    def test_shrinks_below_acceptance_bar(self):
+        spec = _masked_spec()
+        with inject("meld-swap-operand-under-mask"):
+            assert _validate_fails(spec)
+            result = shrink(spec, _validate_fails)
+            assert result.statements <= 12, (
+                f"shrinker left {result.statements} statements")
+            assert result.statements < result.original_statements
+            # The shrunk witness keeps the bug's signature property:
+            # still invisible dynamically, still convicted statically.
+            assert run_oracle(result.spec).ok
+            assert not run_oracle(result.spec, validate=True).ok
+        assert run_oracle(result.spec, validate=True).ok
+
+    def test_corpus_records_validate_mode(self, tmp_path):
+        spec = _masked_spec()
+        with inject("meld-swap-operand-under-mask"):
+            verdict = run_oracle(spec, validate=True)
+            assert not verdict.ok
+            path = write_entry(tmp_path, spec, verdict,
+                               injected_bug="meld-swap-operand-under-mask",
+                               validate=True)
+            entry = load_entry(path)
+            assert entry.validate
+            assert entry.name.endswith("-validate")
+            # Replay re-enables validation, so the failure reproduces...
+            assert not replay(path).ok
+            # ...and the standalone script carries the flag too.
+            script = Path(str(path).replace(".json", "_repro.py"))
+            assert "VALIDATE = True" in script.read_text()
+        # Healthy compiler: the validate-mode replay is clean.
+        assert replay(path).ok
 
 
 class TestCorpusRoundTrip:

@@ -309,3 +309,100 @@ class TestMeldLegality:
         report = repro.lint(compiled)
         assert "meld-legality" in report.rules_run
         assert report.ok
+
+
+def _indexed_shared_kernel(index_kind: str):
+    """Access an 8-element shared array through a range-analyzable index."""
+    k = repro.KernelBuilder("k", params=[("data", repro.GLOBAL_I32_PTR)])
+    tid = k.thread_id()
+    buf = k.shared_array("buf", repro.I32, 8)
+    if index_kind == "oob":
+        index = k.add(k.and_(tid, k.const(3)), k.const(16))   # [16, 19]
+    elif index_kind == "masked":
+        index = k.and_(tid, k.const(7))                        # [0, 7]
+    else:
+        index = tid                                            # [0, +max]
+    k.store_at(buf, index, tid)
+    k.barrier()
+    k.store_at(k.param("data"), tid, k.load_at(buf, index))
+    k.finish()
+    return k.function
+
+
+class TestOutOfBoundsAccess:
+    def test_provably_oob_index_is_error(self):
+        report = run_lint(_indexed_shared_kernel("oob"),
+                          rules=["out-of-bounds-access"])
+        findings = report.by_rule("out-of-bounds-access")
+        # Both the staging store and the permuted load use the index.
+        assert len(findings) == 2
+        assert all(f.is_error for f in findings)
+        assert "@buf[0..7]" in findings[0].message
+        assert findings[0].data["element_count"] == 8
+
+    def test_masked_index_is_clean(self):
+        report = run_lint(_indexed_shared_kernel("masked"),
+                          rules=["out-of-bounds-access"])
+        assert report.by_rule("out-of-bounds-access") == []
+        assert report.ok
+
+    def test_unprovable_index_is_not_accused(self):
+        # tid's interval overlaps [0, 7]: possibly in bounds, no claim.
+        report = run_lint(_indexed_shared_kernel("raw"),
+                          rules=["out-of-bounds-access"])
+        assert report.by_rule("out-of-bounds-access") == []
+
+
+def _branch_kernel(decided: bool):
+    k = repro.KernelBuilder("k", params=[("data", repro.GLOBAL_I32_PTR)])
+    tid = k.thread_id()
+    if decided:
+        # tid is seeded non-negative: the guard can never be false.
+        cond = k.icmp(repro.ICmpPredicate.SGE, tid, k.const(0))
+    else:
+        cond = k.icmp(repro.ICmpPredicate.EQ, k.and_(tid, k.const(1)),
+                      k.const(0))
+    k.if_(cond, lambda: k.store_at(k.param("data"), tid, tid))
+    k.finish()
+    return k.function
+
+
+class TestTautologicalBranch:
+    def test_always_true_guard_is_warned(self):
+        report = run_lint(_branch_kernel(decided=True),
+                          rules=["tautological-branch"])
+        findings = report.by_rule("tautological-branch")
+        assert len(findings) == 1
+        assert findings[0].severity == "warning"
+        assert "always true" in findings[0].message
+        assert "statically dead" in findings[0].message
+        assert findings[0].data["always"] is True
+        # Warnings do not fail the report.
+        assert report.ok
+
+    def test_divergent_guard_is_clean(self):
+        report = run_lint(_branch_kernel(decided=False),
+                          rules=["tautological-branch"])
+        assert report.by_rule("tautological-branch") == []
+
+
+class TestMeldLegalityValidationAudit:
+    def test_inequivalent_accepted_meld_is_error(self):
+        report = run_lint(parse(GUARDED), rules=["meld-legality"],
+                          decisions=[_decision(branch_divergent=True,
+                                               validation="INEQUIVALENT")])
+        findings = report.by_rule("meld-legality")
+        assert len(findings) == 1
+        assert "INEQUIVALENT" in findings[0].message
+
+    def test_equivalent_verdict_is_clean(self):
+        report = run_lint(parse(GUARDED), rules=["meld-legality"],
+                          decisions=[_decision(branch_divergent=True,
+                                               validation="EQUIVALENT")])
+        assert report.ok
+
+    def test_unsupported_verdict_is_not_a_conviction(self):
+        report = run_lint(parse(GUARDED), rules=["meld-legality"],
+                          decisions=[_decision(branch_divergent=True,
+                                               validation="UNSUPPORTED")])
+        assert report.ok

@@ -254,3 +254,64 @@ class TestGoldenHeatmapFastPath:
         entry = summary.blocks["entry"]
         assert entry.divergent_executions == 2
         assert entry.mean_active_lanes == 8.0
+
+
+class TestValidationOverhead:
+    """Compile-side cost of meld translation validation.
+
+    Disabled (the default) it must be invisible: per accepted meld the
+    pass pays one ``config.validate`` truthiness check, so the same
+    computed budget applies — melds x per-check cost < 2% of the
+    compile's own wall time.  Enabled it does real symbolic work whose
+    cost is *measured and reported* (per-meld wall-time histogram plus
+    a per-verdict counter), deliberately not guarded."""
+
+    def _compile(self, validate: bool):
+        case = build_sb1(8)
+        cfm = repro.CFMConfig(validate=True) if validate else True
+        return repro.compile(case, cfm=cfm)
+
+    def test_disabled_validation_stays_under_compile_budget(self):
+        loops = 100_000
+        probe = repro.CFMConfig()  # validate defaults to False
+        per_check = timeit.timeit(
+            "x = probe.validate", globals={"probe": probe},
+            number=loops) / loops
+
+        reports = [self._compile(validate=False) for _ in range(3)]
+        compile_seconds = sorted(r.seconds for r in reports)[1]  # median
+        melds = reports[0].melds
+        assert melds > 0, "SB1 must meld or the budget is vacuous"
+        assert all(r.cfm_stats.validations == [] for r in reports)
+
+        overhead = melds * per_check
+        assert overhead < 0.02 * compile_seconds, (
+            f"{melds} melds x {per_check * 1e9:.1f}ns = "
+            f"{overhead * 1e6:.2f}us exceeds 2% of "
+            f"{compile_seconds * 1e3:.2f}ms compile")
+
+    def test_enabled_validation_cost_is_measured_not_guarded(self):
+        from repro.analysis import EQUIVALENT
+
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            report = self._compile(validate=True)
+        validations = report.cfm_stats.validations
+        assert validations, "validation on but nothing validated"
+        for validation in validations:
+            assert validation.verdict == EQUIVALENT
+            assert validation.seconds >= 0.0
+            assert validation.paths > 0
+
+        snapshot = registry.snapshot()
+        verdicts = snapshot["counters"]["repro_compile_validate_total"]
+        (key,) = verdicts["samples"]
+        assert "verdict=EQUIVALENT" in key
+        assert verdicts["samples"][key] == len(validations)
+        seconds = snapshot["histograms"]["repro_compile_validate_seconds"]
+        (sample,) = seconds["samples"].values()
+        assert sample["count"] == len(validations)
+        assert sample["sum"] == pytest.approx(
+            sum(v.seconds for v in validations), rel=1e-6)
+        # Deliberately no bound on the enabled cost: symbolic evaluation
+        # is allowed to be slow; the histogram *is* the report.
