@@ -30,7 +30,12 @@ Internal layout:
 * :mod:`repro.obs` — span-based tracing (compile passes, melding
   decisions, warp divergence) behind :func:`repro.trace`, plus the
   aggregate-metrics registry (counters/gauges/histograms with
-  Prometheus exposition) behind :func:`repro.collect_metrics`.
+  Prometheus exposition) behind :func:`repro.collect_metrics`;
+* :mod:`repro.scheduler` — generic multiprocess task scheduler
+  (queueing, retry, timeouts, crash recovery, worker recycling) that
+  the sweep engine and the job server share;
+* :mod:`repro.serve` — long-running compile-and-simulate job server
+  (``python -m repro.serve``) speaking an NDJSON socket protocol.
 """
 
 __version__ = "1.1.0"
@@ -113,6 +118,19 @@ from repro.compile_cache import (
     CACHE_ENV_VAR,
     DiskCompileCache,
     cfm_pipeline_id,
+)
+from repro.scheduler import (
+    NO_RECYCLE,
+    RecyclePolicy,
+    Scheduler,
+    SchedulerClosed,
+    Task,
+    TaskOutcome,
+)
+from repro.serve import (
+    JobServer,
+    ServeClient,
+    ServerConfig,
 )
 from repro.evaluation import (
     Comparison,
@@ -203,5 +221,9 @@ __all__ = [
     "counters", "best_improvement_rows",
     "format_table1", "format_table2", "format_speedups", "format_figure8",
     "format_counters",
+    # scheduler & job server
+    "Scheduler", "SchedulerClosed", "Task", "TaskOutcome",
+    "RecyclePolicy", "NO_RECYCLE",
+    "JobServer", "ServerConfig", "ServeClient",
     "__version__",
 ]

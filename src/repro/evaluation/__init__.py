@@ -19,6 +19,7 @@ from .parallel import (
     SweepError,
     SweepTask,
     TaskResult,
+    fold_sweep_metrics,
     run_task,
     run_tasks,
 )
@@ -66,7 +67,7 @@ __all__ = [
     "compile_baseline", "compile_cfm", "execute", "geomean",
     "ParallelRunner", "ProgressCallback", "ProgressLine",
     "SweepError", "SweepTask", "TaskResult",
-    "run_task", "run_tasks",
+    "fold_sweep_metrics", "run_task", "run_tasks",
     "SWEEP_TRACE_SCHEMA", "SWEEP_TRACE_SCHEMA_V1", "SWEEP_TRACE_SCHEMA_V2",
     "SweepTraceCollector",
     "TRACE_EVENT_POLICIES", "load_sweep_trace",

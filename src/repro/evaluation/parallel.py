@@ -8,9 +8,9 @@ independent — :func:`repro.evaluation.runner.compare` builds fresh
 * **deterministic ordering** — results come back in task-submission
   order regardless of which worker finishes first, so a parallel sweep
   produces row-for-row identical output to a serial one;
-* **fault isolation** — each task runs in its own process with an
+* **fault isolation** — each task runs in a worker process with an
   optional wall-clock ``timeout``; a diverging simulation is terminated
-  and retried once (fresh process) before being reported as a failure,
+  and retried once (fresh worker) before being reported as a failure,
   so one bad configuration cannot hang a whole figure;
 * **compile caching** — every task uses a :class:`CompileCache`, so the
   ``-O3`` stage runs once per comparison instead of once per arm; with
@@ -19,21 +19,27 @@ independent — :func:`repro.evaluation.runner.compare` builds fresh
   processes and sweep repeats** — a warm sweep replays whole pipelines
   instead of compiling.
 
-``workers <= 1`` runs tasks serially in-process (the reference path the
-determinism tests compare against); ``workers > 1`` uses one process per
-task with at most ``workers`` alive at a time — per-task processes make
-timeout enforcement a clean ``terminate()`` instead of a poisoned pool.
+This module is the sweep-shaped job layer over the generic
+:class:`repro.scheduler.Scheduler`: the scheduler owns worker processes,
+queueing, retry, timeout and recycling; this layer owns what a sweep
+task *is* (:class:`SweepTask` → :func:`run_task` → :class:`TaskResult`)
+and how its telemetry folds into the ambient metrics registry.
+
+``workers <= 1`` runs tasks serially in-process (the scheduler's inline
+mode — the reference path the determinism tests compare against);
+``workers > 1`` uses a pool of **persistent** worker processes, each
+serving many tasks, with an optional :class:`~repro.scheduler.RecyclePolicy`
+retiring workers after N tasks or M bytes RSS.  A task that fails in a
+persistent worker quarantines that worker's in-process lowering memo
+(see :func:`repro.simt.clear_lowering_memo`) before the next dispatch,
+so a crash cannot poison a later task's — or its own retry's — cache.
 """
 
 from __future__ import annotations
 
-import multiprocessing
 import time
-import traceback
-from collections import deque
-from dataclasses import dataclass, field
-from multiprocessing.connection import wait as _connection_wait
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.core import CFMConfig
 from repro.kernels.common import KernelCase
@@ -47,6 +53,8 @@ from repro.obs import (
     use as use_tracer,
     use_registry,
 )
+from repro.scheduler import NO_RECYCLE, RecyclePolicy, Scheduler, Task
+from repro.scheduler.core import _mp_context  # noqa: F401  (back-compat)
 from repro.simt import MachineConfig
 
 from .runner import Comparison, CompileCache, compare
@@ -185,29 +193,68 @@ def _task_body(task: SweepTask, index: int, attempts: int) -> TaskResult:
         trace_events=events)
 
 
-def _child_main(task: SweepTask, index: int, attempts: int, conn) -> None:
-    """Worker-process entry point: send back a TaskResult, never raise."""
-    start = time.perf_counter()
-    try:
-        result = run_task(task, index=index, attempts=attempts)
-    except BaseException as exc:  # noqa: BLE001 — report, don't kill silently
-        result = TaskResult(
-            index=index, kernel=task.kernel, block_size=task.block_size,
-            error=f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}",
-            attempts=attempts, seconds=time.perf_counter() - start,
-            # Whatever the task flushed before dying still aggregates —
-            # a crashed worker reports partial telemetry, not nothing.
-            metrics_delta=getattr(exc, "_metrics_delta", None),
-            crashed=True)
-    try:
-        conn.send(result)
-    finally:
-        conn.close()
+def _sweep_fn(task: SweepTask, ctx) -> TaskResult:
+    """Scheduler task adapter: one sweep comparison per scheduler task.
+
+    Metrics stay ``Task.metrics=False`` at the scheduler layer —
+    :func:`run_task` manages its own per-task registry (and annotates
+    exceptions with the partial snapshot), which keeps the serial and
+    pooled paths byte-identical in what they collect.
+    """
+    return run_task(task, index=ctx.index, attempts=ctx.attempt)
 
 
-def _mp_context():
-    methods = multiprocessing.get_all_start_methods()
-    return multiprocessing.get_context("fork" if "fork" in methods else None)
+def fold_sweep_metrics(results: Sequence[TaskResult], wall_seconds: float,
+                       slot_busy: Optional[Dict[int, float]] = None) -> None:
+    """Merge task deltas + sweep counters into the ambient registry.
+
+    Deltas merge in task-index order — the same order the serial path
+    produced them in — so an N-worker sweep's merged snapshot is
+    bit-identical to the serial run's (modulo wall-clock-valued samples,
+    which are nondeterministic in any mode).  Shared by
+    :class:`ParallelRunner` and the :mod:`repro.serve` sweep job so a
+    sweep's metric families are the same no matter which surface ran it.
+    """
+    registry = current_registry()
+    if not registry.enabled or not results:
+        return
+    for result in sorted(results, key=lambda r: r.index):
+        if result.metrics_delta:
+            registry.merge(result.metrics_delta)
+    registry.counter(
+        "repro_eval_tasks_completed_total",
+        "Sweep tasks that produced a comparison"
+    ).inc(sum(1 for r in results if r.ok))
+    registry.counter(
+        "repro_eval_tasks_failed_total",
+        "Sweep tasks that failed after exhausting retries"
+    ).inc(sum(1 for r in results if not r.ok))
+    registry.counter(
+        "repro_eval_tasks_retried_total",
+        "Extra attempts beyond each task's first"
+    ).inc(sum(r.attempts - 1 for r in results))
+    registry.counter(
+        "repro_eval_tasks_timed_out_total",
+        "Task attempts terminated at the wall-clock timeout"
+    ).inc(sum(1 for r in results
+              if r.error is not None and "timed out" in r.error))
+    registry.counter(
+        "repro_eval_tasks_crashed_total",
+        "Tasks whose process raised or died mid-flight"
+    ).inc(sum(1 for r in results if r.crashed))
+    if wall_seconds > 0:
+        registry.gauge(
+            "repro_eval_rows_per_second",
+            "Completed sweep tasks per wall-clock second"
+        ).set(sum(1 for r in results if r.ok) / wall_seconds)
+        utilization = registry.gauge(
+            "repro_eval_worker_utilization",
+            "Busy seconds / wall seconds, per concurrency slot")
+        for slot in sorted(slot_busy or {}):
+            utilization.labels(worker=str(slot)).set(
+                min(1.0, slot_busy[slot] / wall_seconds))
+    # The merged hit ratio, not the last task's.
+    update_cache_hit_ratio(registry)
 
 
 class ParallelRunner:
@@ -215,196 +262,27 @@ class ParallelRunner:
 
     ``timeout`` is per task attempt, in seconds (``None`` disables it —
     only meaningful with ``workers > 1``, since the serial path cannot
-    preempt a running task).
+    preempt a running task).  ``recycle`` forwards a
+    :class:`~repro.scheduler.RecyclePolicy` to the worker pool
+    (irrelevant for ``workers <= 1``).
     """
 
     def __init__(self, workers: int = 1, timeout: Optional[float] = None,
-                 retries: int = DEFAULT_RETRIES) -> None:
+                 retries: int = DEFAULT_RETRIES,
+                 recycle: RecyclePolicy = NO_RECYCLE) -> None:
         self.workers = max(1, int(workers))
         self.timeout = timeout
         self.retries = max(0, int(retries))
+        self.recycle = recycle
         #: concurrency-slot id -> busy seconds, rebuilt by each run()
         self._slot_busy: Dict[int, float] = {}
-
-    # ---- serial reference path -------------------------------------------
-
-    def _run_serial(self, tasks: Sequence[SweepTask],
-                    progress: Optional[ProgressCallback] = None
-                    ) -> List[TaskResult]:
-        results: List[TaskResult] = []
-        for index, task in enumerate(tasks):
-            attempt = 1
-            while True:
-                start = time.perf_counter()
-                try:
-                    results.append(run_task(task, index=index, attempts=attempt))
-                    break
-                except Exception as exc:  # noqa: BLE001
-                    if attempt > self.retries:
-                        results.append(TaskResult(
-                            index=index, kernel=task.kernel,
-                            block_size=task.block_size,
-                            error=f"{type(exc).__name__}: {exc}",
-                            attempts=attempt,
-                            seconds=time.perf_counter() - start,
-                            metrics_delta=getattr(exc, "_metrics_delta",
-                                                  None),
-                            crashed=True))
-                        break
-                    attempt += 1
-            self._slot_busy[0] = (self._slot_busy.get(0, 0.0)
-                                  + results[-1].seconds)
-            if progress is not None:
-                progress(len(results), len(tasks), results[-1])
-        return results
-
-    # ---- process-per-task path -------------------------------------------
-
-    def _run_parallel(self, tasks: Sequence[SweepTask],
-                      progress: Optional[ProgressCallback] = None
-                      ) -> List[TaskResult]:
-        ctx = _mp_context()
-        pending: deque = deque(
-            (index, task, 1) for index, task in enumerate(tasks))
-        #: conn -> (process, index, task, attempt, monotonic start, slot)
-        live: Dict[object, Tuple[object, int, SweepTask, int, float, int]] = {}
-        results: Dict[int, TaskResult] = {}
-        free_slots = list(range(self.workers - 1, -1, -1))
-
-        def settle(result: Optional[TaskResult]) -> None:
-            if result is not None:
-                results[result.index] = result
-                if progress is not None:
-                    progress(len(results), len(tasks), result)
-
-        def release(slot: int, started: float) -> None:
-            self._slot_busy[slot] = (self._slot_busy.get(slot, 0.0)
-                                     + time.monotonic() - started)
-            free_slots.append(slot)
-
-        def fail_or_retry(index: int, task: SweepTask, attempt: int,
-                          message: str, started: float,
-                          crashed: bool = False) -> None:
-            if attempt <= self.retries:
-                pending.appendleft((index, task, attempt + 1))
-            else:
-                settle(TaskResult(
-                    index=index, kernel=task.kernel,
-                    block_size=task.block_size, error=message,
-                    attempts=attempt,
-                    seconds=time.monotonic() - started,
-                    crashed=crashed))
-
-        while pending or live:
-            while pending and len(live) < self.workers:
-                index, task, attempt = pending.popleft()
-                parent_conn, child_conn = ctx.Pipe(duplex=False)
-                process = ctx.Process(
-                    target=_child_main,
-                    args=(task, index, attempt, child_conn),
-                    daemon=True)
-                process.start()
-                child_conn.close()
-                live[parent_conn] = (process, index, task, attempt,
-                                     time.monotonic(), free_slots.pop())
-
-            # Wake up either when a worker reports or when the earliest
-            # deadline expires.
-            wait_for: Optional[float] = None
-            if self.timeout is not None:
-                now = time.monotonic()
-                wait_for = max(0.0, min(
-                    started + self.timeout - now
-                    for (_, _, _, _, started, _) in live.values()))
-            ready = _connection_wait(list(live), timeout=wait_for)
-
-            for conn in ready:
-                process, index, task, attempt, started, slot = live.pop(conn)
-                try:
-                    result = conn.recv()
-                except (EOFError, OSError):
-                    result = None
-                conn.close()
-                process.join()
-                release(slot, started)
-                if result is None:
-                    fail_or_retry(index, task, attempt,
-                                  "worker process died without reporting "
-                                  f"(exit code {process.exitcode})", started,
-                                  crashed=True)
-                elif result.error is not None and attempt <= self.retries:
-                    pending.appendleft((index, task, attempt + 1))
-                else:
-                    settle(result)
-
-            if self.timeout is not None:
-                now = time.monotonic()
-                for conn in list(live):
-                    process, index, task, attempt, started, slot = live[conn]
-                    if now - started <= self.timeout:
-                        continue
-                    del live[conn]
-                    process.terminate()
-                    process.join()
-                    conn.close()
-                    release(slot, started)
-                    fail_or_retry(
-                        index, task, attempt,
-                        f"timed out after {self.timeout:g}s", started)
-
-        return [results[index] for index in range(len(tasks))]
-
-    # ---- sweep-level aggregation ------------------------------------------
+        #: repro_sched_* snapshot of the last run()'s pool (worker
+        #: lifetimes, recycling, respawns); None before the first run
+        self.scheduler_metrics: Optional[Dict[str, object]] = None
 
     def _fold_metrics(self, results: Sequence[TaskResult],
                       wall_seconds: float) -> None:
-        """Merge worker deltas + runner counters into the ambient registry.
-
-        Deltas merge in task-index order — the same order the serial
-        path produced them in — so an N-worker sweep's merged snapshot
-        is bit-identical to the serial run's (modulo wall-clock-valued
-        samples, which are nondeterministic in any mode).
-        """
-        registry = current_registry()
-        if not registry.enabled or not results:
-            return
-        for result in sorted(results, key=lambda r: r.index):
-            if result.metrics_delta:
-                registry.merge(result.metrics_delta)
-        registry.counter(
-            "repro_eval_tasks_completed_total",
-            "Sweep tasks that produced a comparison"
-        ).inc(sum(1 for r in results if r.ok))
-        registry.counter(
-            "repro_eval_tasks_failed_total",
-            "Sweep tasks that failed after exhausting retries"
-        ).inc(sum(1 for r in results if not r.ok))
-        registry.counter(
-            "repro_eval_tasks_retried_total",
-            "Extra attempts beyond each task's first"
-        ).inc(sum(r.attempts - 1 for r in results))
-        registry.counter(
-            "repro_eval_tasks_timed_out_total",
-            "Task attempts terminated at the wall-clock timeout"
-        ).inc(sum(1 for r in results
-                  if r.error is not None and "timed out" in r.error))
-        registry.counter(
-            "repro_eval_tasks_crashed_total",
-            "Tasks whose process raised or died mid-flight"
-        ).inc(sum(1 for r in results if r.crashed))
-        if wall_seconds > 0:
-            registry.gauge(
-                "repro_eval_rows_per_second",
-                "Completed sweep tasks per wall-clock second"
-            ).set(sum(1 for r in results if r.ok) / wall_seconds)
-            utilization = registry.gauge(
-                "repro_eval_worker_utilization",
-                "Busy seconds / wall seconds, per concurrency slot")
-            for slot in sorted(self._slot_busy):
-                utilization.labels(worker=str(slot)).set(
-                    min(1.0, self._slot_busy[slot] / wall_seconds))
-        # The merged hit ratio, not the last task's.
-        update_cache_hit_ratio(registry)
+        fold_sweep_metrics(results, wall_seconds, self._slot_busy)
 
     # ---- public API -------------------------------------------------------
 
@@ -420,10 +298,35 @@ class ParallelRunner:
             return []
         self._slot_busy = {}
         start = time.perf_counter()
-        if self.workers <= 1:
-            results = self._run_serial(tasks, progress)
-        else:
-            results = self._run_parallel(tasks, progress)
+        total = len(tasks)
+        by_index: Dict[int, TaskResult] = {}
+
+        def on_outcome(outcome) -> None:
+            # Runs on the scheduler's dispatcher thread, one outcome at
+            # a time — no extra synchronization needed here.
+            if outcome.ok:
+                result = outcome.value
+            else:
+                task = tasks[outcome.index]
+                result = TaskResult(
+                    index=outcome.index, kernel=task.kernel,
+                    block_size=task.block_size, error=outcome.error,
+                    attempts=outcome.attempts, seconds=outcome.seconds,
+                    metrics_delta=outcome.metrics_delta,
+                    crashed=outcome.crashed)
+            by_index[result.index] = result
+            if progress is not None:
+                progress(len(by_index), total, result)
+
+        scheduler = Scheduler(
+            workers=0 if self.workers <= 1 else self.workers,
+            timeout=self.timeout, retries=self.retries, recycle=self.recycle)
+        with scheduler:
+            scheduler.run([Task(_sweep_fn, task) for task in tasks],
+                          on_outcome=on_outcome)
+        self._slot_busy = dict(scheduler.slot_busy)
+        self.scheduler_metrics = scheduler.metrics_snapshot()
+        results = [by_index[index] for index in range(total)]
         self._fold_metrics(results, time.perf_counter() - start)
         return results
 
@@ -431,7 +334,9 @@ class ParallelRunner:
 def run_tasks(tasks: Sequence[SweepTask], workers: int = 1,
               timeout: Optional[float] = None,
               retries: int = DEFAULT_RETRIES,
-              progress: Optional[ProgressCallback] = None) -> List[TaskResult]:
+              progress: Optional[ProgressCallback] = None,
+              recycle: RecyclePolicy = NO_RECYCLE) -> List[TaskResult]:
     """Convenience wrapper: ``ParallelRunner(...).run(tasks)``."""
     return ParallelRunner(workers=workers, timeout=timeout,
-                          retries=retries).run(tasks, progress=progress)
+                          retries=retries, recycle=recycle
+                          ).run(tasks, progress=progress)

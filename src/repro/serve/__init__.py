@@ -1,0 +1,36 @@
+"""``repro.serve`` — the long-running compile-and-simulate job service.
+
+An asyncio TCP server (:class:`JobServer`) accepting kernel-compile,
+launch, figure-sweep, difftest-campaign and lint-sweep jobs over a
+newline-delimited-JSON protocol (:mod:`repro.serve.protocol`), fanning
+them out over a shared :class:`repro.scheduler.Scheduler` worker pool,
+and streaming per-job rows plus trace spans and metrics deltas back to
+clients.  Admission is bounded (queue cap + per-client quotas, both
+rejected with typed codes), workers recycle per policy, and the PR-6
+disk compile cache is shared across the whole pool.
+
+Run it: ``python -m repro.serve serve --workers 4``; talk to it with
+:class:`ServeClient` or ``python -m repro.serve submit``.  See
+``docs/serve.md`` for the protocol schema and operational knobs.
+"""
+
+from .client import JobRejected, ServeClient, ServeError
+from .jobs import JOB_KINDS, JobSpec, make_job
+from .protocol import ERROR_CODES, PROTOCOL, ProtocolError
+from .server import JobServer, ServerConfig
+from .testing import ServerThread
+
+__all__ = [
+    "ERROR_CODES",
+    "JOB_KINDS",
+    "JobRejected",
+    "JobServer",
+    "JobSpec",
+    "PROTOCOL",
+    "ProtocolError",
+    "ServeClient",
+    "ServeError",
+    "ServerConfig",
+    "ServerThread",
+    "make_job",
+]

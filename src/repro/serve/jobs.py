@@ -1,0 +1,451 @@
+"""Job types of the ``repro.serve`` server.
+
+A **job** is what a client submits; a job expands into one or more
+scheduler :class:`~repro.scheduler.Task` objects (its *tasks*), each of
+which produces one JSON-able **row**.  The server streams rows back as
+tasks settle and sends the full, position-ordered row list on the
+``done`` event — so a job's row output is deterministic however the
+pool interleaved it.
+
+Five built-in kinds, registered in :data:`JOB_KINDS`:
+
+``compile``
+    one task per kernel: build + compile at an opt level from
+    :data:`repro.lint.LINT_LEVELS`; rows report block/instruction counts
+    and CFM meld decisions.
+``launch``
+    one task per kernel: compile the ``-O3`` baseline and execute it,
+    reporting cycles and divergence counters.
+``sweep``
+    one task per ``(kernel, block size)`` — exactly a figure sweep row
+    (:func:`repro.evaluation.run_task` underneath), reporting the same
+    speedup fields :func:`repro.evaluation.run_sweep` computes.  Rows
+    are bit-identical to a serial ``python -m repro.evaluation`` run,
+    and the job's merged metrics delta reuses
+    :func:`repro.evaluation.fold_sweep_metrics` so the snapshot matches
+    a serial collect too.
+``difftest``
+    one task per seed: the full differential oracle
+    (:func:`repro.difftest.run_oracle`) over the generated kernel.
+``lint``
+    one task per ``(kernel, level)``: compile-then-lint
+    (:func:`repro.lint.lint_at_level`), reporting diagnostics.
+
+Payloads are plain tuples/dicts and the task functions are module-level
+— both requirements of the fork/pickle boundary — and kernels cross the
+wire **by name**, resolved against :data:`repro.kernels.ALL_BUILDERS`
+inside the worker, so no closures are ever pickled.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.evaluation.parallel import (
+    SweepTask,
+    TaskResult,
+    fold_sweep_metrics,
+    run_task,
+)
+from repro.obs import use_registry
+from repro.scheduler import Task
+
+from .protocol import ProtocolError
+
+#: job kind -> JobSpec subclass (filled at module bottom)
+JOB_KINDS: Dict[str, type] = {}
+
+#: sweeps/difftests above these sizes are rejected as invalid-params —
+#: a job is a unit of admission, and the queue cap reasons in tasks
+MAX_TASKS_PER_JOB = 512
+
+
+class JobParamError(ProtocolError):
+    """Params rejected by a job spec (wire code ``invalid-params``)."""
+
+    def __init__(self, message: str) -> None:
+        super().__init__(message, code="invalid-params")
+
+
+def _require(params: Dict[str, Any], key: str, kind: type,
+             default: Any = None) -> Any:
+    value = params.get(key, default)
+    if value is default and default is not None:
+        return default
+    if not isinstance(value, kind):
+        raise JobParamError(
+            f"param {key!r} must be {kind.__name__}, got {type(value).__name__}")
+    return value
+
+
+def _kernel_names(params: Dict[str, Any]) -> List[str]:
+    from repro.kernels import ALL_BUILDERS
+    names = params.get("kernels")
+    if names is None:
+        raise JobParamError("param 'kernels' (list of names) is required")
+    if not isinstance(names, list) or not names or \
+            not all(isinstance(n, str) for n in names):
+        raise JobParamError("param 'kernels' must be a non-empty name list")
+    unknown = [n for n in names if n not in ALL_BUILDERS]
+    if unknown:
+        raise JobParamError(
+            f"unknown kernels {unknown}; known: {sorted(ALL_BUILDERS)}")
+    return names
+
+
+# ---------------------------------------------------------------------------
+# worker-side task functions (module-level: they cross the fork boundary)
+
+
+def _builder(name: str) -> Callable:
+    from repro.kernels import ALL_BUILDERS
+    return ALL_BUILDERS[name]
+
+
+def _sweep_fn(payload: Dict[str, Any], ctx) -> TaskResult:
+    task = SweepTask(
+        kernel=payload["kernel"], builder=_builder(payload["kernel"]),
+        block_size=payload["block_size"], grid_dim=payload["grid_dim"],
+        seed=payload["seed"], cache_dir=payload.get("cache_dir"),
+        trace=payload.get("trace", False), metrics=True)
+    # position within the job, not the scheduler-wide index — rows keep
+    # job-relative numbering however many jobs share the pool
+    return run_task(task, index=payload["position"], attempts=ctx.attempt)
+
+
+def _compile_fn(payload: Dict[str, Any], ctx) -> Dict[str, Any]:
+    from repro.lint.api import compile_at_level
+    name, level = payload["kernel"], payload["level"]
+    case = _builder(name)(block_size=payload["block_size"],
+                          grid_dim=payload["grid_dim"])
+    decisions = compile_at_level(case.function, level)
+    function = case.function
+    return {
+        "kernel": name,
+        "level": level,
+        "blocks": len(list(function.blocks)),
+        "instructions": sum(len(list(b.instructions))
+                            for b in function.blocks),
+        "melds": sum(1 for d in (decisions or [])
+                     if getattr(d, "action", "") == "melded"),
+    }
+
+
+def _launch_fn(payload: Dict[str, Any], ctx) -> Dict[str, Any]:
+    from repro.evaluation.runner import compile_baseline, execute
+    name = payload["kernel"]
+    case = _builder(name)(block_size=payload["block_size"],
+                          grid_dim=payload["grid_dim"])
+    compile_baseline(case)
+    run = execute(case, seed=payload["seed"])
+    metrics = run.metrics
+    return {
+        "kernel": name,
+        "block_size": payload["block_size"],
+        "cycles": metrics.cycles,
+        "branches": metrics.branches,
+        "divergent_branches": metrics.divergent_branches,
+    }
+
+
+def _difftest_fn(payload: Dict[str, Any], ctx) -> Dict[str, Any]:
+    from repro.difftest import generate_spec, run_oracle
+    seed = payload["seed"]
+    spec = generate_spec(seed, block_dim=payload["block_dim"],
+                         grid_dim=payload["grid_dim"])
+    verdict = run_oracle(spec)
+    return {
+        "seed": seed,
+        "ok": verdict.ok,
+        "failures": [str(f) for f in verdict.failures],
+    }
+
+
+def _lint_fn(payload: Dict[str, Any], ctx) -> Dict[str, Any]:
+    from repro.lint.api import lint_at_level
+    name, level = payload["kernel"], payload["level"]
+    case = _builder(name)(block_size=payload["block_size"],
+                          grid_dim=payload["grid_dim"])
+    report = lint_at_level(case, level)
+    return {
+        "kernel": name,
+        "level": level,
+        "ok": report.ok,
+        "diagnostics": [
+            f"{d.severity} {d.rule} {d.location}: {d.message}"
+            for d in report.diagnostics],
+    }
+
+
+# ---------------------------------------------------------------------------
+# job specs
+
+
+class JobSpec:
+    """One submitted job: validated params → scheduler tasks → rows."""
+
+    kind = "abstract"
+
+    def __init__(self, params: Dict[str, Any]) -> None:
+        self.params = params
+
+    def tasks(self) -> List[Task]:
+        """Scheduler tasks, in job-position order."""
+        raise NotImplementedError
+
+    def row(self, value: Any) -> Dict[str, Any]:
+        """A task's return value as a JSON-able row."""
+        return value
+
+    def finalize(self, outcomes: Sequence[Any], registry,
+                 wall_seconds: float) -> None:
+        """Fold the job's telemetry into its registry.
+
+        Default: merge each outcome's metrics delta in position order
+        (deterministic — the same order a serial run would emit them).
+        """
+        for outcome in outcomes:
+            if outcome is not None and outcome.metrics_delta:
+                registry.merge(outcome.metrics_delta)
+
+    def _check_size(self, count: int) -> None:
+        if count > MAX_TASKS_PER_JOB:
+            raise JobParamError(
+                f"job expands to {count} tasks; cap is {MAX_TASKS_PER_JOB}")
+        if count == 0:
+            raise JobParamError("job expands to zero tasks")
+
+
+class SweepJob(JobSpec):
+    """Figure-style speedup sweep over (kernel, block size) pairs.
+
+    Params: ``kernels`` (names), ``block_sizes`` (list, or per-kernel
+    dict of lists; defaults to the figure-7/8 sweep sizes), ``seed``,
+    ``grid_dim``, ``trace`` (capture Chrome-trace events per task).
+    """
+
+    kind = "sweep"
+
+    def __init__(self, params: Dict[str, Any]) -> None:
+        super().__init__(params)
+        from repro.evaluation.experiments import (
+            DEFAULT_GRID_DIM,
+            DEFAULT_SEED,
+            REAL_BLOCK_SIZES,
+            SYNTHETIC_BLOCK_SIZES,
+        )
+        self.kernels = _kernel_names(params)
+        self.seed = _require(params, "seed", int, DEFAULT_SEED)
+        self.grid_dim = _require(params, "grid_dim", int, DEFAULT_GRID_DIM)
+        self.trace = bool(params.get("trace", False))
+        sizes = params.get("block_sizes")
+        if sizes is None:
+            self.block_sizes = {
+                name: REAL_BLOCK_SIZES.get(name, SYNTHETIC_BLOCK_SIZES)
+                for name in self.kernels}
+        elif isinstance(sizes, list):
+            self.block_sizes = {name: list(sizes) for name in self.kernels}
+        elif isinstance(sizes, dict):
+            missing = [n for n in self.kernels if n not in sizes]
+            if missing:
+                raise JobParamError(f"block_sizes missing kernels {missing}")
+            self.block_sizes = {name: list(sizes[name])
+                                for name in self.kernels}
+        else:
+            raise JobParamError("block_sizes must be a list or a dict")
+        self.pairs = [(name, size) for name in self.kernels
+                      for size in self.block_sizes[name]]
+        self._check_size(len(self.pairs))
+
+    def tasks(self) -> List[Task]:
+        import os
+        cache_dir = os.environ.get("REPRO_COMPILE_CACHE")
+        if cache_dir in (None, "", "off"):
+            cache_dir = None
+        return [
+            Task(_sweep_fn, {
+                "kernel": name, "block_size": size, "seed": self.seed,
+                "grid_dim": self.grid_dim, "position": position,
+                "cache_dir": cache_dir, "trace": self.trace,
+            })
+            for position, (name, size) in enumerate(self.pairs)]
+
+    def row(self, value: TaskResult) -> Dict[str, Any]:
+        comparison = value.comparison
+        return {
+            "kernel": value.kernel,
+            "block_size": value.block_size,
+            "speedup": comparison.speedup,
+            "baseline_cycles": comparison.baseline.cycles,
+            "cfm_cycles": comparison.melded.cycles,
+            "melds": comparison.melds,
+        }
+
+    def trace_events(self, outcomes: Sequence[Any]
+                     ) -> List[Dict[str, Any]]:
+        events: List[Dict[str, Any]] = []
+        for outcome in outcomes:
+            result = getattr(outcome, "value", None)
+            if result is not None and result.trace_events:
+                events.extend(result.trace_events)
+        return events
+
+    def finalize(self, outcomes: Sequence[Any], registry,
+                 wall_seconds: float) -> None:
+        """Reuse the sweep engine's fold so a served sweep's snapshot is
+        family-for-family what :class:`~repro.evaluation.ParallelRunner`
+        would have produced (deterministic metrics bit-identical)."""
+        results: List[TaskResult] = []
+        for position, outcome in enumerate(outcomes):
+            if outcome is None:
+                continue
+            if outcome.ok:
+                results.append(outcome.value)
+            else:
+                name, size = self.pairs[position]
+                results.append(TaskResult(
+                    index=position, kernel=name, block_size=size,
+                    error=outcome.error, attempts=outcome.attempts,
+                    seconds=outcome.seconds,
+                    metrics_delta=outcome.metrics_delta,
+                    crashed=outcome.crashed))
+        with use_registry(registry):
+            fold_sweep_metrics(results, wall_seconds)
+
+
+class CompileJob(JobSpec):
+    """Compile kernels at one opt level; rows report IR shape + melds.
+
+    Params: ``kernels``, ``level`` (one of
+    :data:`repro.lint.LINT_LEVELS`, default ``o3-cfm``), ``block_size``,
+    ``grid_dim``.
+    """
+
+    kind = "compile"
+
+    def __init__(self, params: Dict[str, Any]) -> None:
+        super().__init__(params)
+        from repro.lint.api import LINT_LEVELS
+        self.kernels = _kernel_names(params)
+        self.level = _require(params, "level", str, "o3-cfm")
+        if self.level not in LINT_LEVELS:
+            raise JobParamError(
+                f"unknown level {self.level!r}; expected one of {LINT_LEVELS}")
+        self.block_size = _require(params, "block_size", int, 32)
+        self.grid_dim = _require(params, "grid_dim", int, 2)
+        self._check_size(len(self.kernels))
+
+    def tasks(self) -> List[Task]:
+        return [Task(_compile_fn, {
+            "kernel": name, "level": self.level,
+            "block_size": self.block_size, "grid_dim": self.grid_dim,
+        }, metrics=True) for name in self.kernels]
+
+
+class LaunchJob(JobSpec):
+    """Compile the ``-O3`` baseline and execute it on the simulator.
+
+    Params: ``kernels``, ``block_size``, ``grid_dim``, ``seed``.
+    """
+
+    kind = "launch"
+
+    def __init__(self, params: Dict[str, Any]) -> None:
+        super().__init__(params)
+        self.kernels = _kernel_names(params)
+        self.block_size = _require(params, "block_size", int, 32)
+        self.grid_dim = _require(params, "grid_dim", int, 2)
+        self.seed = _require(params, "seed", int, 1234)
+        self._check_size(len(self.kernels))
+
+    def tasks(self) -> List[Task]:
+        return [Task(_launch_fn, {
+            "kernel": name, "block_size": self.block_size,
+            "grid_dim": self.grid_dim, "seed": self.seed,
+        }, metrics=True) for name in self.kernels]
+
+
+class DifftestJob(JobSpec):
+    """Differential-oracle campaign: one task per generator seed.
+
+    Params: ``seeds`` (explicit list) or ``count`` + ``start``;
+    ``block_dim``, ``grid_dim``.
+    """
+
+    kind = "difftest"
+
+    def __init__(self, params: Dict[str, Any]) -> None:
+        super().__init__(params)
+        seeds = params.get("seeds")
+        if seeds is not None:
+            if not isinstance(seeds, list) or \
+                    not all(isinstance(s, int) for s in seeds):
+                raise JobParamError("param 'seeds' must be a list of ints")
+            self.seeds = seeds
+        else:
+            count = _require(params, "count", int, 10)
+            start = _require(params, "start", int, 0)
+            self.seeds = list(range(start, start + count))
+        self.block_dim = _require(params, "block_dim", int, 16)
+        self.grid_dim = _require(params, "grid_dim", int, 2)
+        self._check_size(len(self.seeds))
+
+    def tasks(self) -> List[Task]:
+        return [Task(_difftest_fn, {
+            "seed": seed, "block_dim": self.block_dim,
+            "grid_dim": self.grid_dim,
+        }, metrics=True) for seed in self.seeds]
+
+
+class LintJob(JobSpec):
+    """Compile-then-lint sweep over (kernel, level) pairs.
+
+    Params: ``kernels``, ``levels`` (default every lint level),
+    ``block_size``, ``grid_dim``.
+    """
+
+    kind = "lint"
+
+    def __init__(self, params: Dict[str, Any]) -> None:
+        super().__init__(params)
+        from repro.lint.api import LINT_LEVELS
+        self.kernels = _kernel_names(params)
+        levels = params.get("levels", list(LINT_LEVELS))
+        if not isinstance(levels, list) or not levels or \
+                not all(isinstance(lv, str) for lv in levels):
+            raise JobParamError("param 'levels' must be a non-empty list")
+        unknown = [lv for lv in levels if lv not in LINT_LEVELS]
+        if unknown:
+            raise JobParamError(
+                f"unknown levels {unknown}; expected from {LINT_LEVELS}")
+        self.levels = levels
+        self.block_size = _require(params, "block_size", int, 32)
+        self.grid_dim = _require(params, "grid_dim", int, 2)
+        self.pairs = [(k, lv) for k in self.kernels for lv in self.levels]
+        self._check_size(len(self.pairs))
+
+    def tasks(self) -> List[Task]:
+        return [Task(_lint_fn, {
+            "kernel": name, "level": level,
+            "block_size": self.block_size, "grid_dim": self.grid_dim,
+        }, metrics=True) for name, level in self.pairs]
+
+
+JOB_KINDS.update({
+    spec.kind: spec
+    for spec in (SweepJob, CompileJob, LaunchJob, DifftestJob, LintJob)
+})
+
+
+def make_job(kind: Any, params: Optional[Dict[str, Any]]) -> JobSpec:
+    """Instantiate a registered job spec; raises :class:`ProtocolError`
+    with the right wire code for unknown kinds / bad params."""
+    if not isinstance(kind, str) or kind not in JOB_KINDS:
+        raise ProtocolError(
+            f"unknown job kind {kind!r}; known: {sorted(JOB_KINDS)}",
+            code="unknown-job")
+    if params is None:
+        params = {}
+    if not isinstance(params, dict):
+        raise JobParamError("job params must be an object")
+    return JOB_KINDS[kind](params)

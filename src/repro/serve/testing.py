@@ -1,0 +1,95 @@
+"""In-process server hosting for tests and embedders.
+
+:class:`ServerThread` runs a :class:`~repro.serve.JobServer` on a
+dedicated thread with its own event loop, exposing the bound address
+synchronously — so a test (or the soak harness) can start a real server,
+connect :class:`~repro.serve.ServeClient` instances against it, and tear
+it down, all without subprocesses:
+
+    with ServerThread(ServerConfig(workers=2)) as address:
+        with ServeClient(*address) as client:
+            done = client.run_job("difftest", {"count": 3})
+
+Teardown prefers a client-driven graceful shutdown (so in-flight jobs
+drain and worker goodbye snapshots fold in) and falls back to forcing
+the loop if the server never comes up.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Optional, Tuple
+
+from .client import ServeClient
+from .server import JobServer, ServerConfig
+
+
+class ServerThread:
+    """Run a JobServer on a background thread; context-managed."""
+
+    def __init__(self, config: Optional[ServerConfig] = None,
+                 startup_timeout: float = 30.0) -> None:
+        self.server = JobServer(config)
+        self._startup_timeout = startup_timeout
+        self._ready = threading.Event()
+        self._error: Optional[BaseException] = None
+        self._thread = threading.Thread(target=self._main,
+                                        name="repro-serve", daemon=True)
+
+    def _main(self) -> None:
+        async def body() -> None:
+            ready = asyncio.Event()
+
+            async def flag() -> None:
+                await ready.wait()
+                self._ready.set()
+
+            flagger = asyncio.ensure_future(flag())
+            try:
+                await self.server.run(ready=ready)
+            finally:
+                flagger.cancel()
+
+        try:
+            asyncio.run(body())
+        except BaseException as exc:  # noqa: BLE001 — surface in start()
+            self._error = exc
+            self._ready.set()
+
+    def start(self) -> Tuple[str, int]:
+        """Start the server; returns the bound ``(host, port)``."""
+        self._thread.start()
+        if not self._ready.wait(self._startup_timeout):
+            raise RuntimeError("server did not start in time")
+        if self._error is not None:
+            raise RuntimeError(f"server failed to start: {self._error}")
+        assert self.server.address is not None
+        return self.server.address
+
+    def stop(self, mode: str = "graceful", join_timeout: float = 60.0) -> None:
+        """Shut the server down via the protocol and join the thread."""
+        if not self._thread.is_alive():
+            return
+        if self.server.address is not None:
+            # A short socket timeout covers the already-shutting-down
+            # case: the TCP handshake can still land in the dead
+            # listener's backlog, where no hello will ever arrive.
+            try:
+                with ServeClient(*self.server.address, timeout=5) as client:
+                    client.shutdown(mode)
+            except Exception:
+                pass
+        self._thread.join(join_timeout)
+        if self._thread.is_alive():
+            raise RuntimeError("server thread did not stop")
+
+    @property
+    def address(self) -> Optional[Tuple[str, int]]:
+        return self.server.address
+
+    def __enter__(self) -> Tuple[str, int]:
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

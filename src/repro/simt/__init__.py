@@ -29,6 +29,7 @@ from .lowering import (
     PROGRAM_SCHEMA,
     LoweredProgram,
     ProgramDecodeError,
+    clear_lowering_memo,
     get_program,
     invalidate_lowering,
     latency_token_key,
@@ -59,7 +60,8 @@ __all__ = [
     "Metrics",
     "SimulationError", "UNDEF", "Warp",
     "FastWarp", "LoweredProgram", "PROGRAM_SCHEMA", "ProgramDecodeError",
-    "get_program", "invalidate_lowering", "lower_function",
+    "clear_lowering_memo", "get_program", "invalidate_lowering",
+    "lower_function",
     "latency_token_key", "lower_symbolic", "materialize_program",
     "seed_program",
 ]

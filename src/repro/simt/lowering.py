@@ -798,3 +798,19 @@ def invalidate_lowering(function: Function) -> None:
     fingerprinting makes this rarely necessary; provided for symmetry
     with :func:`repro.analysis.invalidate_divergence`)."""
     _program_cache.pop(function, None)
+
+
+def clear_lowering_memo() -> None:
+    """Drop every memoized program in this process.
+
+    The quarantine hook for long-lived worker processes: a task that
+    crashed mid-lowering (or mid-:func:`seed_program`) may have left a
+    partially-built or deliberately corrupted entry behind for a
+    function object that outlives the task, and the fingerprint —
+    being keyed on object identities, not content — cannot tell a
+    poisoned entry from a legitimate one.  ``repro.scheduler`` workers
+    call this after any task failure so the retry (in this worker or a
+    replacement) always re-lowers from the IR instead of trusting
+    whatever the crashed attempt left in the memo.
+    """
+    _program_cache.clear()

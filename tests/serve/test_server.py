@@ -1,0 +1,298 @@
+"""End-to-end tests of the job server over real sockets.
+
+Each test boots a :class:`~repro.serve.ServerThread` (a real asyncio
+server with a real worker pool) and drives it with
+:class:`~repro.serve.ServeClient`.  The headline contracts:
+
+* a figure sweep served over the socket is **bit-identical** to a
+  serial ``repro.evaluation`` run — rows and (deterministic) metrics —
+  including when a worker is killed mid-run (chaos injection);
+* admission is bounded and **typed**: quota and queue-full pressure
+  reject with machine-readable codes (or block, per config), never
+  stall silently;
+* graceful shutdown drains in-flight jobs and folds retiring workers'
+  metrics snapshots before the process exits.
+"""
+
+import json
+import time
+import urllib.request
+
+import pytest
+
+from repro.evaluation.parallel import ParallelRunner, SweepTask
+from repro.kernels import ALL_BUILDERS
+from repro.obs import MetricsRegistry, use_registry
+from repro.scheduler import worker as scheduler_worker
+from repro.serve import (
+    JobRejected,
+    ServeClient,
+    ServerConfig,
+    ServerThread,
+)
+
+#: metric-name fragments whose values depend on wall time (mirrors
+#: tests/evaluation/test_metrics_aggregation.py)
+TIME_DEPENDENT = ("seconds", "per_second", "utilization")
+
+SWEEP_KERNELS = ["SB1", "SB2"]
+SWEEP_SIZES = [8, 16]
+SWEEP_PARAMS = {"kernels": SWEEP_KERNELS, "block_sizes": SWEEP_SIZES,
+                "grid_dim": 1, "seed": 7}
+
+_SERIAL = {}
+
+
+def strip_time_dependent(snapshot):
+    snapshot = json.loads(json.dumps(snapshot))
+    for kind in ("counters", "gauges", "histograms"):
+        snapshot[kind] = {
+            name: data for name, data in snapshot[kind].items()
+            if not any(fragment in name for fragment in TIME_DEPENDENT)}
+    return snapshot
+
+
+def serial_sweep():
+    """Serial-run reference rows + metrics snapshot (memoized)."""
+    if not _SERIAL:
+        tasks = [SweepTask(kernel=name, builder=ALL_BUILDERS[name],
+                           block_size=size, grid_dim=1, seed=7, metrics=True)
+                 for name in SWEEP_KERNELS for size in SWEEP_SIZES]
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            results = ParallelRunner(workers=1).run(tasks)
+        assert all(r.ok for r in results)
+        _SERIAL["rows"] = [{
+            "kernel": r.kernel, "block_size": r.block_size,
+            "speedup": r.comparison.speedup,
+            "baseline_cycles": r.comparison.baseline.cycles,
+            "cfm_cycles": r.comparison.melded.cycles,
+            "melds": r.comparison.melds,
+        } for r in results]
+        _SERIAL["metrics"] = registry.snapshot()
+    return _SERIAL["rows"], _SERIAL["metrics"]
+
+
+@pytest.fixture(autouse=True)
+def _clean_chaos():
+    scheduler_worker._TEST_WORKER_CHAOS.clear()
+    yield
+    scheduler_worker._TEST_WORKER_CHAOS.clear()
+
+
+class TestLifecycle:
+    def test_hello_announces_limits(self):
+        config = ServerConfig(workers=1, queue_limit=9, client_quota=5,
+                              when_full="block")
+        with ServerThread(config) as address:
+            with ServeClient(*address) as client:
+                assert client.hello["protocol"] == "repro.serve/1"
+                assert client.hello["workers"] == 1
+                assert client.hello["queue_limit"] == 9
+                assert client.hello["client_quota"] == 5
+                assert client.hello["when_full"] == "block"
+
+    def test_ping(self):
+        with ServerThread(ServerConfig(workers=1)) as address:
+            with ServeClient(*address) as client:
+                assert client.ping()
+
+    def test_bad_line_is_typed_error_event(self):
+        with ServerThread(ServerConfig(workers=1)) as address:
+            with ServeClient(*address) as client:
+                client._sock.sendall(b"this is not json\n")
+                event = client._pump()
+                assert event["event"] == "error"
+                assert event["code"] == "bad-request"
+                # connection survives a bad line
+                assert client.ping()
+
+    def test_unknown_op_is_typed_error_event(self):
+        with ServerThread(ServerConfig(workers=1)) as address:
+            with ServeClient(*address) as client:
+                client._write({"op": "fandango"})
+                event = client._pump()
+                assert event["event"] == "error"
+                assert event["code"] == "bad-request"
+
+
+class TestServedSweepIdentity:
+    def test_rows_bit_identical_to_serial(self):
+        serial_rows, _ = serial_sweep()
+        with ServerThread(ServerConfig(workers=2)) as address:
+            with ServeClient(*address) as client:
+                done = client.run_job("sweep", SWEEP_PARAMS)
+        assert done["ok"]
+        assert done["rows"] == serial_rows
+        assert done["errors"] == []
+
+    def test_metrics_snapshot_identical_to_serial(self):
+        _, serial_metrics = serial_sweep()
+        with ServerThread(ServerConfig(workers=2)) as address:
+            with ServeClient(*address) as client:
+                done = client.run_job("sweep", SWEEP_PARAMS, metrics=True)
+        assert strip_time_dependent(done["metrics"]) \
+            == strip_time_dependent(serial_metrics)
+
+    def test_identity_not_vacuous(self):
+        _, serial_metrics = serial_sweep()
+        stripped = strip_time_dependent(serial_metrics)
+        assert stripped["counters"] and stripped["histograms"]
+
+    def test_rows_identical_after_worker_killed_mid_run(self):
+        """The acceptance-criteria chaos run: a worker dies after
+        completing a task but before reporting; rows and deterministic
+        metrics still match serial."""
+        serial_rows, serial_metrics = serial_sweep()
+        scheduler_worker._TEST_WORKER_CHAOS[1] = "exit-after"
+        with ServerThread(ServerConfig(workers=2)) as address:
+            with ServeClient(*address) as client:
+                done = client.run_job("sweep", SWEEP_PARAMS, metrics=True)
+        assert done["ok"]
+        assert done["rows"] == serial_rows
+        assert sum(done["attempts"]) == len(serial_rows) + 1
+        served = strip_time_dependent(done["metrics"])
+        serial = strip_time_dependent(serial_metrics)
+        # the retry itself is (correctly) visible in exactly one place
+        retried = served["counters"].pop("repro_eval_tasks_retried_total")
+        assert sum(retried["samples"].values()) == 1
+        serial["counters"].pop("repro_eval_tasks_retried_total")
+        assert served == serial
+
+    def test_streamed_tasks_cover_all_positions(self):
+        with ServerThread(ServerConfig(workers=2)) as address:
+            with ServeClient(*address) as client:
+                events = []
+                done = client.run_job("sweep", SWEEP_PARAMS, stream=True,
+                                      on_task=events.append)
+        positions = [e["position"] for e in events]
+        assert sorted(positions) == list(range(len(done["rows"])))
+        by_position = {e["position"]: e["row"] for e in events}
+        assert [by_position[i] for i in range(len(done["rows"]))] \
+            == done["rows"]
+
+
+class TestAdmission:
+    def test_unknown_job_rejected(self):
+        with ServerThread(ServerConfig(workers=1)) as address:
+            with ServeClient(*address) as client:
+                with pytest.raises(JobRejected) as info:
+                    client.run_job("bake-bread", {})
+                assert info.value.code == "unknown-job"
+                assert client.ping()  # connection unharmed
+
+    def test_invalid_params_rejected(self):
+        with ServerThread(ServerConfig(workers=1)) as address:
+            with ServeClient(*address) as client:
+                with pytest.raises(JobRejected) as info:
+                    client.run_job("sweep", {"kernels": ["NOPE"]})
+                assert info.value.code == "invalid-params"
+
+    def test_quota_exceeded_is_typed_not_a_stall(self):
+        config = ServerConfig(workers=1, client_quota=3)
+        with ServerThread(config) as address:
+            with ServeClient(*address) as client:
+                start = time.monotonic()
+                with pytest.raises(JobRejected) as info:
+                    client.run_job("difftest", {"count": 4})
+                assert info.value.code == "quota-exceeded"
+                assert time.monotonic() - start < 5
+                # within quota still flows
+                done = client.run_job("difftest", {"count": 2})
+                assert done["ok"]
+
+    def test_queue_full_rejects_when_configured(self):
+        config = ServerConfig(workers=1, queue_limit=3, when_full="reject")
+        with ServerThread(config) as address:
+            with ServeClient(*address) as client:
+                with pytest.raises(JobRejected) as info:
+                    client.run_job("difftest", {"count": 4})
+                assert info.value.code == "queue-full"
+
+    def test_queue_full_blocks_when_configured(self):
+        """when_full=block parks the submit until capacity frees; both
+        jobs complete, nothing is lost."""
+        config = ServerConfig(workers=1, queue_limit=2, when_full="block")
+        with ServerThread(config) as address:
+            with ServeClient(*address) as client:
+                first = client.submit("difftest", {"count": 2})
+                second = client.submit("difftest", {"count": 2})
+                done_first = client.wait(first)
+                done_second = client.wait(second)
+        assert done_first["ok"] and done_second["ok"]
+        assert [r["seed"] for r in done_first["rows"]] == [0, 1]
+        assert [r["seed"] for r in done_second["rows"]] == [0, 1]
+
+
+class TestShutdown:
+    def test_graceful_shutdown_drains_in_flight_jobs(self):
+        with ServerThread(ServerConfig(workers=1)) as address:
+            with ServeClient(*address) as client:
+                job = client.submit("difftest", {"count": 4})
+                client.shutdown("graceful")
+                with pytest.raises(JobRejected) as info:
+                    client.run_job("difftest", {"count": 1})
+                assert info.value.code == "shutting-down"
+                done = client.wait(job)
+        assert done["ok"]
+        assert [r["seed"] for r in done["rows"]] == [0, 1, 2, 3]
+
+    def test_artifacts_written_at_shutdown(self, tmp_path):
+        trace_file = str(tmp_path / "serve.trace.json")
+        prom_file = str(tmp_path / "serve.prom")
+        config = ServerConfig(workers=1, trace_file=trace_file,
+                              prom_file=prom_file)
+        server = ServerThread(config)
+        address = server.start()
+        try:
+            with ServeClient(*address) as client:
+                assert client.run_job("difftest", {"count": 2})["ok"]
+        finally:
+            server.stop()
+        trace = json.load(open(trace_file))
+        names = [e.get("name", "") for e in trace["traceEvents"]]
+        assert any(name.startswith("job:") for name in names)
+        prom = open(prom_file).read()
+        assert "repro_serve_jobs_total" in prom
+        assert "repro_sched_tasks_completed_total" in prom
+
+    def test_recycled_workers_flush_into_server_metrics(self):
+        config = ServerConfig(workers=1, recycle_tasks=1)
+        with ServerThread(config) as address:
+            with ServeClient(*address) as client:
+                assert client.run_job("difftest", {"count": 3})["ok"]
+                snapshot = client.metrics()["snapshot"]
+        families = snapshot["counters"]
+        flushed = families.get("repro_sched_worker_tasks_total", {})
+        assert sum(flushed.get("samples", {}).values()) >= 2
+        recycled = families.get("repro_sched_workers_recycled_total", {})
+        assert sum(recycled.get("samples", {}).values()) >= 2
+
+
+class TestObservability:
+    def test_metrics_op_merges_all_layers(self):
+        with ServerThread(ServerConfig(workers=1)) as address:
+            with ServeClient(*address) as client:
+                assert client.run_job("difftest", {"count": 2})["ok"]
+                event = client.metrics()
+        prom = event["prom"]
+        assert "repro_serve_jobs_total" in prom
+        assert "repro_serve_tasks_total" in prom
+        assert "repro_sched_tasks_completed_total" in prom
+        counters = event["snapshot"]["counters"]
+        tasks = counters["repro_serve_tasks_total"]["samples"]
+        assert sum(tasks.values()) == 2
+
+    def test_prometheus_http_listener(self):
+        server = ServerThread(ServerConfig(workers=1, prom_port=0))
+        address = server.start()
+        try:
+            with ServeClient(*address) as client:
+                assert client.run_job("difftest", {"count": 1})["ok"]
+            host, port = server.server.prom_address
+            body = urllib.request.urlopen(
+                f"http://{host}:{port}/metrics", timeout=10).read().decode()
+        finally:
+            server.stop()
+        assert "repro_serve_jobs_total" in body
+        assert body.startswith("# ") or "repro_" in body.splitlines()[0]
